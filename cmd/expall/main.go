@@ -1,0 +1,66 @@
+// Command expall runs the entire StarNUMA experiment suite and writes
+// every table to stdout (and optionally a file), in the paper's order.
+//
+// Usage:
+//
+//	expall [-quick] [-scale 0.25] [-o results.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"starnuma/internal/exp"
+)
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "use the quick (small) configuration")
+		scale  = flag.Float64("scale", 0, "override workload footprint scale")
+		out    = flag.String("o", "", "also write results to this file")
+		format = flag.String("format", "text", "output format: text, csv, md")
+	)
+	flag.Parse()
+
+	opts := exp.Default()
+	if *quick {
+		opts = exp.Quick()
+	}
+	if *scale > 0 {
+		opts.Scale = *scale
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expall: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	start := time.Now()
+	runner := exp.NewRunner(opts)
+	tables, err := runner.All()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "expall: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(w, "StarNUMA reproduction — full experiment suite\n")
+	fmt.Fprintf(w, "scale=%v phases=%d phaseInstr=%d timedInstr=%d\n\n",
+		opts.Scale, opts.Sim.Phases, opts.Sim.PhaseInstr, opts.Sim.TimedInstr)
+	for _, t := range tables {
+		rendered, err := t.Format(*format)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expall: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(w, rendered)
+	}
+	fmt.Fprintf(w, "completed in %v\n", time.Since(start).Round(time.Second))
+}

@@ -1,0 +1,76 @@
+// Command starnuma runs one experiment of the StarNUMA reproduction and
+// prints its table.
+//
+// Usage:
+//
+//	starnuma -exp fig8a [-quick] [-scale 0.25] [-phases 6] [-workloads BFS,TC]
+//	starnuma -list
+//
+// Experiment identifiers follow the paper's figure/table numbers; see
+// DESIGN.md §5 for the index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"starnuma/internal/exp"
+)
+
+func main() {
+	var (
+		expID     = flag.String("exp", "", "experiment to run (e.g. fig8a, tab4); see -list")
+		list      = flag.Bool("list", false, "list experiment identifiers and exit")
+		quick     = flag.Bool("quick", false, "use the quick (small) configuration")
+		scale     = flag.Float64("scale", 0, "override workload footprint scale")
+		phases    = flag.Int("phases", 0, "override number of phases")
+		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all)")
+		format    = flag.String("format", "text", "output format: text, csv, md")
+		chart     = flag.Int("chart", -1, "render the given column index as ASCII bars instead")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range exp.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *expID == "" {
+		fmt.Fprintln(os.Stderr, "starnuma: -exp required (or -list); e.g. -exp fig8a")
+		os.Exit(2)
+	}
+
+	opts := exp.Default()
+	if *quick {
+		opts = exp.Quick()
+	}
+	if *scale > 0 {
+		opts.Scale = *scale
+	}
+	if *phases > 0 {
+		opts.Sim.Phases = *phases
+	}
+	if *workloads != "" {
+		opts.Workloads = strings.Split(*workloads, ",")
+	}
+
+	table, err := exp.NewRunner(opts).ByID(*expID)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "starnuma: %v\n", err)
+		os.Exit(1)
+	}
+	var out string
+	if *chart >= 0 {
+		out, err = table.BarChart(*chart, 48)
+	} else {
+		out, err = table.Format(*format)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "starnuma: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,66 @@
+// Command tracegen materialises one phase of a synthetic workload's
+// LLC-miss stream as a binary trace file (the step-A artifact of the
+// evaluation methodology, §IV-A1).
+//
+// Usage:
+//
+//	tracegen -workload BFS -phase 0 -instr 1000000 -o bfs.p0.sntr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"starnuma/internal/trace"
+	"starnuma/internal/workload"
+)
+
+func main() {
+	var (
+		wl    = flag.String("workload", "BFS", "workload name (see -listworkloads)")
+		lsWl  = flag.Bool("listworkloads", false, "list workload names and exit")
+		phase = flag.Int("phase", 0, "phase index to trace")
+		instr = flag.Uint64("instr", 1_000_000, "instructions per core to trace")
+		scale = flag.Float64("scale", 0.25, "footprint scale")
+		out   = flag.String("o", "", "output file (default <workload>.p<phase>.sntr)")
+	)
+	flag.Parse()
+
+	if *lsWl {
+		for _, n := range workload.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	spec, err := workload.ByName(*wl, *scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	gen, err := workload.NewGenerator(spec, 16, 4)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("%s.p%d.sntr", spec.Name, *phase)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	n, err := trace.DumpPhase(gen, *phase, *instr, f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d records (%d cores, %d pages) to %s\n",
+		n, gen.NumCores(), gen.NumPages(), path)
+}

@@ -1,0 +1,76 @@
+// Command wlstat characterises the synthetic workload models: sharing
+// distributions (Fig. 2/13 style), derived core-model parameters, and
+// per-class layout. Useful when adding or re-calibrating a workload.
+//
+// Usage:
+//
+//	wlstat                 # summarise the whole suite
+//	wlstat -workload BFS   # full detail for one workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"starnuma/internal/workload"
+)
+
+func main() {
+	var (
+		wl    = flag.String("workload", "", "detail one workload (default: summarise all)")
+		scale = flag.Float64("scale", 0.25, "footprint scale")
+	)
+	flag.Parse()
+
+	if *wl != "" {
+		spec, err := workload.ByName(*wl, *scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wlstat: %v\n", err)
+			os.Exit(1)
+		}
+		detail(spec)
+		return
+	}
+	fmt.Printf("%-9s %6s %7s %5s %5s %9s %8s %9s\n",
+		"workload", "IPC1", "MPKI", "MLP", "IPC0", "pages", "classes", ">8-share%")
+	for _, spec := range workload.Suite(*scale) {
+		_, accs := spec.SharingHistogram(16)
+		var vagabond float64
+		for k := 9; k <= 16; k++ {
+			vagabond += accs[k]
+		}
+		fmt.Printf("%-9s %6.2f %7.1f %5d %5.2f %9d %8d %8.0f%%\n",
+			spec.Name, spec.SingleSocketIPC, spec.MPKI, spec.MLP,
+			spec.ZeroLoadIPC(192), spec.FootprintPages, len(spec.Classes), 100*vagabond)
+	}
+}
+
+func detail(spec workload.Spec) {
+	fmt.Printf("%s: footprint %d pages (%.0f MB), MPKI %.1f, single-socket IPC %.2f, MLP %d, zero-load IPC %.2f\n\n",
+		spec.Name, spec.FootprintPages,
+		float64(spec.FootprintPages)*workload.PageBytes/1e6,
+		spec.MPKI, spec.SingleSocketIPC, spec.MLP, spec.ZeroLoadIPC(192))
+
+	fmt.Printf("%-12s %8s %9s %10s %9s\n", "class", "pages%", "accesses%", "sharers", "write%")
+	for _, c := range spec.Classes {
+		fmt.Printf("%-12s %7.1f%% %8.1f%% %7d-%-3d %8.1f%%\n",
+			c.Name, 100*c.PageShare, 100*c.AccessShare,
+			c.MinSharers, c.MaxSharers, 100*c.WriteFrac)
+	}
+
+	pages, accs := spec.SharingHistogram(16)
+	fmt.Printf("\n%-10s %8s %10s\n", "sharers", "pages%", "accesses%")
+	for _, b := range [][2]int{{1, 1}, {2, 4}, {5, 8}, {9, 15}, {16, 16}} {
+		var p, a float64
+		for k := b[0]; k <= b[1]; k++ {
+			p += pages[k]
+			a += accs[k]
+		}
+		label := fmt.Sprintf("%d", b[0])
+		if b[1] != b[0] {
+			label = fmt.Sprintf("%d-%d", b[0], b[1])
+		}
+		fmt.Printf("%-10s %7.1f%% %9.1f%%\n", label, 100*p, 100*a)
+	}
+}

@@ -1,0 +1,54 @@
+// Quickstart: simulate one workload on the baseline 16-socket system and
+// on StarNUMA, and print the headline comparison.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"starnuma/internal/core"
+	"starnuma/internal/stats"
+	"starnuma/internal/workload"
+)
+
+func main() {
+	// A scaled-down BFS instance (the paper's most-studied workload).
+	spec, err := workload.ByName("BFS", 0.125)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sim := core.QuickSim()
+
+	// Baseline: 16 sockets, no pool, perfect-knowledge migration.
+	baseCfg := sim
+	baseCfg.Policy = core.PolicyPerfectBaseline
+	base, err := core.Run(core.BaselineSystem(), baseCfg, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// StarNUMA: CXL memory pool + T16 region tracker + Algorithm 1.
+	star, err := core.Run(core.StarNUMASystem(), sim, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s (%d pages, MPKI %.1f)\n\n", spec.Name, spec.FootprintPages, spec.MPKI)
+	show := func(name string, r *core.Result) {
+		fr := r.AMAT.Breakdown().Fractions()
+		fmt.Printf("%-9s IPC %.3f  AMAT %7.1fns (unloaded %5.1f + contention %5.1f)\n",
+			name, r.IPC, r.AMAT.Measured().Nanos(), r.AMAT.Unloaded().Nanos(), r.AMAT.Contention().Nanos())
+		fmt.Printf("          accesses: %.0f%% local, %.0f%% 1-hop, %.0f%% 2-hop, %.0f%% pool, %.0f%% BT\n",
+			100*fr[stats.Local], 100*fr[stats.OneHop], 100*fr[stats.TwoHop],
+			100*fr[stats.Pool], 100*(fr[stats.BTSocket]+fr[stats.BTPool]))
+	}
+	show("baseline", base)
+	show("starnuma", star)
+	fmt.Printf("\nspeedup: %.2fx  (pool holds %d pages; %.0f%% of migrations targeted the pool)\n",
+		core.Speedup(star, base), star.PoolPages, 100*star.MigrStats.PoolFraction())
+}

@@ -1,0 +1,3 @@
+module starnuma
+
+go 1.22

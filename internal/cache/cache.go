@@ -1,0 +1,182 @@
+// Package cache implements the per-socket LLC presence model used by the
+// timing simulation.
+//
+// Following the paper's mixed-modality methodology (§IV-B), "light"
+// sockets carry an LLC-sized cache whose job is not to filter the traced
+// miss stream (the stream already is LLC misses) but to track which
+// blocks each socket currently caches, so the coherence directory can
+// decide when an access must be served by a cache-to-cache block
+// transfer and when an eviction must write back dirty data.
+//
+// The cache is set-associative with true per-set LRU.
+package cache
+
+import "fmt"
+
+const (
+	// BlockBytes is the cache block (line) size.
+	BlockBytes = 64
+	// BlockShift is log2(BlockBytes).
+	BlockShift = 6
+)
+
+type way struct {
+	tag   uint64
+	valid bool
+	dirty bool
+}
+
+// LLC is a set-associative presence cache over 64-byte block addresses.
+type LLC struct {
+	ways    int
+	sets    int
+	setMask uint64
+	lines   []way // sets*ways entries; within a set, index 0 is MRU
+	// counters
+	inserts, hits, evictions, dirtyEvictions uint64
+}
+
+// New builds an LLC holding capacityBytes of 64-byte blocks with the
+// given associativity. The set count is rounded down to a power of two
+// (at least one set). It panics on nonsensical arguments.
+func New(capacityBytes int64, ways int) *LLC {
+	if capacityBytes < BlockBytes || ways <= 0 {
+		panic(fmt.Sprintf("cache: invalid capacity %d / ways %d", capacityBytes, ways))
+	}
+	blocks := int(capacityBytes / BlockBytes)
+	if blocks < ways {
+		ways = blocks
+	}
+	sets := 1
+	for sets*2*ways <= blocks {
+		sets *= 2
+	}
+	return &LLC{
+		ways:    ways,
+		sets:    sets,
+		setMask: uint64(sets - 1),
+		lines:   make([]way, sets*ways),
+	}
+}
+
+// Sets returns the number of sets.
+func (c *LLC) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *LLC) Ways() int { return c.ways }
+
+// CapacityBlocks returns how many blocks the cache can hold.
+func (c *LLC) CapacityBlocks() int { return c.sets * c.ways }
+
+func (c *LLC) set(block uint64) []way {
+	s := int(block & c.setMask)
+	return c.lines[s*c.ways : (s+1)*c.ways]
+}
+
+// Contains reports whether block is cached, without touching LRU state.
+func (c *LLC) Contains(block uint64) bool {
+	for i := range c.set(block) {
+		w := &c.set(block)[i]
+		if w.valid && w.tag == block {
+			return true
+		}
+	}
+	return false
+}
+
+// Touch promotes block to MRU if present and reports whether it was.
+func (c *LLC) Touch(block uint64) bool {
+	set := c.set(block)
+	for i := range set {
+		if set[i].valid && set[i].tag == block {
+			promote(set, i)
+			c.hits++
+			return true
+		}
+	}
+	return false
+}
+
+// Insert places block in the cache as MRU, marking it dirty if requested.
+// If the block was already present, its dirty bit is OR-ed. If the
+// insertion displaces a valid block, the displaced block and its dirty
+// bit are returned with evicted=true.
+func (c *LLC) Insert(block uint64, dirty bool) (victim uint64, victimDirty, evicted bool) {
+	set := c.set(block)
+	for i := range set {
+		if set[i].valid && set[i].tag == block {
+			set[i].dirty = set[i].dirty || dirty
+			promote(set, i)
+			c.hits++
+			return 0, false, false
+		}
+	}
+	c.inserts++
+	// Prefer an invalid way.
+	for i := range set {
+		if !set[i].valid {
+			set[i] = way{tag: block, valid: true, dirty: dirty}
+			promote(set, i)
+			return 0, false, false
+		}
+	}
+	// Evict LRU (last slot).
+	last := len(set) - 1
+	victim, victimDirty = set[last].tag, set[last].dirty
+	set[last] = way{tag: block, valid: true, dirty: dirty}
+	promote(set, last)
+	c.evictions++
+	if victimDirty {
+		c.dirtyEvictions++
+	}
+	return victim, victimDirty, true
+}
+
+// Invalidate removes block if present, returning whether it was present
+// and whether it was dirty.
+func (c *LLC) Invalidate(block uint64) (present, wasDirty bool) {
+	set := c.set(block)
+	for i := range set {
+		if set[i].valid && set[i].tag == block {
+			wasDirty = set[i].dirty
+			set[i] = way{}
+			return true, wasDirty
+		}
+	}
+	return false, false
+}
+
+// MarkDirty sets the dirty bit on block, reporting whether it was cached.
+func (c *LLC) MarkDirty(block uint64) bool {
+	set := c.set(block)
+	for i := range set {
+		if set[i].valid && set[i].tag == block {
+			set[i].dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+// Stats is a snapshot of the cache's lifetime counters.
+type Stats struct {
+	Inserts        uint64
+	Hits           uint64
+	Evictions      uint64
+	DirtyEvictions uint64
+}
+
+// Stats returns the cache's counters.
+func (c *LLC) Stats() Stats {
+	return Stats{Inserts: c.inserts, Hits: c.hits, Evictions: c.evictions, DirtyEvictions: c.dirtyEvictions}
+}
+
+// promote moves index i of the set to MRU position, shifting others down.
+func promote(set []way, i int) {
+	if i == 0 {
+		return
+	}
+	w := set[i]
+	copy(set[1:i+1], set[0:i])
+	set[0] = w
+}

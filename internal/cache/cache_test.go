@@ -1,0 +1,208 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometry(t *testing.T) {
+	c := New(8<<20, 16) // 8 MB, 16-way: 131072 blocks, 8192 sets
+	if c.CapacityBlocks() != 131072 {
+		t.Fatalf("capacity = %d blocks", c.CapacityBlocks())
+	}
+	if c.Sets() != 8192 || c.Ways() != 16 {
+		t.Fatalf("sets=%d ways=%d", c.Sets(), c.Ways())
+	}
+}
+
+func TestTinyCacheClampsWays(t *testing.T) {
+	c := New(128, 16) // 2 blocks only
+	if c.CapacityBlocks() > 2 {
+		t.Fatalf("capacity = %d", c.CapacityBlocks())
+	}
+}
+
+func TestInvalidGeometryPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 4) },
+		func() { New(1<<20, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestInsertContainsInvalidate(t *testing.T) {
+	c := New(1<<16, 4)
+	if c.Contains(42) {
+		t.Fatal("empty cache contains block")
+	}
+	if _, _, ev := c.Insert(42, false); ev {
+		t.Fatal("insert into empty set evicted")
+	}
+	if !c.Contains(42) {
+		t.Fatal("block missing after insert")
+	}
+	present, dirty := c.Invalidate(42)
+	if !present || dirty {
+		t.Fatalf("invalidate: present=%v dirty=%v", present, dirty)
+	}
+	if c.Contains(42) {
+		t.Fatal("block present after invalidate")
+	}
+	if present, _ := c.Invalidate(42); present {
+		t.Fatal("double invalidate reported present")
+	}
+}
+
+func TestDirtyBitLifecycle(t *testing.T) {
+	c := New(1<<16, 4)
+	c.Insert(7, false)
+	if !c.MarkDirty(7) {
+		t.Fatal("MarkDirty on cached block failed")
+	}
+	if c.MarkDirty(8) {
+		t.Fatal("MarkDirty on absent block succeeded")
+	}
+	_, dirty := c.Invalidate(7)
+	if !dirty {
+		t.Fatal("dirty bit lost")
+	}
+	// Re-insert clean then dirty: dirty wins.
+	c.Insert(9, false)
+	c.Insert(9, true)
+	if _, d := c.Invalidate(9); !d {
+		t.Fatal("re-insert should OR dirty bits")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(4*BlockBytes, 4) // one set, 4 ways
+	for b := uint64(0); b < 4; b++ {
+		c.Insert(b, false)
+	}
+	c.Touch(0) // 0 becomes MRU; LRU is now 1
+	victim, _, ev := c.Insert(100, false)
+	if !ev || victim != 1 {
+		t.Fatalf("evicted %d (ev=%v), want 1", victim, ev)
+	}
+	if !c.Contains(0) || c.Contains(1) {
+		t.Fatal("LRU state wrong after eviction")
+	}
+}
+
+func TestDirtyEvictionReported(t *testing.T) {
+	c := New(2*BlockBytes, 2)
+	c.Insert(1, true)
+	c.Insert(2, false)
+	victim, vd, ev := c.Insert(3, false)
+	if !ev || victim != 1 || !vd {
+		t.Fatalf("victim=%d dirty=%v ev=%v", victim, vd, ev)
+	}
+	if s := c.Stats(); s.DirtyEvictions != 1 || s.Evictions != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestTouchMiss(t *testing.T) {
+	c := New(1<<12, 2)
+	if c.Touch(123) {
+		t.Fatal("Touch on absent block returned true")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	c := New(1<<12, 2)
+	c.Insert(1, false)
+	c.Insert(1, false) // hit path
+	c.Touch(1)
+	s := c.Stats()
+	if s.Inserts != 1 || s.Hits != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// Property: the number of cached blocks never exceeds capacity, and a
+// just-inserted block is always present.
+func TestOccupancyInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(64*BlockBytes, 4)
+		live := map[uint64]bool{}
+		for i := 0; i < 500; i++ {
+			b := uint64(rng.Intn(300))
+			switch rng.Intn(3) {
+			case 0:
+				victim, _, ev := c.Insert(b, rng.Intn(2) == 0)
+				live[b] = true
+				if ev {
+					delete(live, victim)
+				}
+				if !c.Contains(b) {
+					return false
+				}
+			case 1:
+				present, _ := c.Invalidate(b)
+				if present != live[b] {
+					return false
+				}
+				delete(live, b)
+			case 2:
+				if c.Touch(b) != live[b] {
+					return false
+				}
+			}
+			if len(live) > c.CapacityBlocks() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	c := New(8<<20, 16)
+	for i := 0; i < b.N; i++ {
+		c.Insert(uint64(i)%200000, i%7 == 0)
+	}
+}
+
+// True-LRU sanity at scale: a working set equal to capacity never
+// misses after warm-up; capacity+1 in a cyclic pattern always misses
+// (the classic LRU worst case).
+func TestLRUWorkingSetBehaviour(t *testing.T) {
+	c := New(16*BlockBytes, 16) // one fully associative set of 16
+	for b := uint64(0); b < 16; b++ {
+		c.Insert(b, false)
+	}
+	for round := 0; round < 3; round++ {
+		for b := uint64(0); b < 16; b++ {
+			if !c.Touch(b) {
+				t.Fatalf("working set == capacity missed block %d", b)
+			}
+		}
+	}
+	// Cyclic capacity+1: every access misses under LRU.
+	d := New(16*BlockBytes, 16)
+	for b := uint64(0); b < 17; b++ {
+		d.Insert(b, false)
+	}
+	for round := 0; round < 2; round++ {
+		for b := uint64(0); b < 17; b++ {
+			if d.Touch(b) {
+				t.Fatalf("cyclic over-capacity pattern hit block %d", b)
+			}
+			d.Insert(b, false)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package coherence_test
+
+import (
+	"fmt"
+
+	"starnuma/internal/coherence"
+)
+
+// A dirty block written by socket 3 is read by socket 7: with a socket
+// home this is a 3-hop cache-to-cache transfer; with a pool home it
+// becomes the paper's (faster on average) 4-hop pool path.
+func ExampleDirectory() {
+	d := coherence.NewDirectory(16)
+	d.Access(3, 0x1000, true, false)
+	r := d.Access(7, 0x1000, false, false)
+	fmt.Println("socket home:", r.Outcome, "owner:", r.Owner)
+
+	d.Access(3, 0x2000, true, true)
+	r = d.Access(7, 0x2000, false, true)
+	fmt.Println("pool home:", r.Outcome, "owner:", r.Owner)
+	// Output:
+	// socket home: BT3 owner: 3
+	// pool home: BT4 owner: 3
+}

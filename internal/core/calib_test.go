@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"starnuma/internal/stats"
+	"starnuma/internal/workload"
+)
+
+// TestPaperShapeRegression is the calibration guard: it runs the full
+// suite at quick scale on both systems and asserts the paper's headline
+// shapes (DESIGN.md §4's reproduction targets). If a model change
+// shifts calibration, this test names the workload that moved.
+func TestPaperShapeRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration scan")
+	}
+	cfg := QuickSim()
+	base := cfg
+	base.Policy = PolicyPerfectBaseline
+
+	// Per-workload expectations: baseline IPC near Table III's 16-socket
+	// column (loose band — it *emerges* from contention), and speedup
+	// within a qualitative range around Fig. 8a.
+	expect := map[string]struct {
+		paperIPC16             float64
+		minSpeedup, maxSpeedup float64
+	}{
+		"SSSP":     {0.06, 1.8, 3.3},
+		"BFS":      {0.10, 1.5, 2.8},
+		"CC":       {0.14, 1.3, 2.2},
+		"TC":       {0.40, 1.15, 1.9},
+		"Masstree": {0.18, 1.15, 1.7},
+		"TPCC":     {0.41, 1.05, 1.6},
+		"FMI":      {0.61, 1.02, 1.5},
+		"POA":      {0.68, 0.97, 1.03},
+	}
+
+	var speedups []float64
+	fmt.Printf("%-9s %6s %6s %8s %7s %7s %6s %6s\n",
+		"wkld", "bIPC", "sIPC", "speedup", "bAMAT", "sAMAT", "pool%", "mfrac")
+	for _, spec := range workload.Suite(0.125) {
+		rb, err := Run(BaselineSystem(), base, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := Run(StarNUMASystem(), cfg, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := Speedup(rs, rb)
+		speedups = append(speedups, sp)
+		fmt.Printf("%-9s %6.3f %6.3f %7.2fx %6.0f %7.0f %6.2f %6.2f\n",
+			spec.Name, rb.IPC, rs.IPC, sp,
+			rb.AMAT.Measured().Nanos(), rs.AMAT.Measured().Nanos(),
+			float64(rs.PoolPages)/float64(spec.FootprintPages), rs.MigrStats.PoolFraction())
+
+		e := expect[spec.Name]
+		if rb.IPC < e.paperIPC16/2.5 || rb.IPC > e.paperIPC16*2.5 {
+			t.Errorf("%s: baseline IPC %.3f outside 2.5x band of Table III's %.2f",
+				spec.Name, rb.IPC, e.paperIPC16)
+		}
+		if sp < e.minSpeedup || sp > e.maxSpeedup {
+			t.Errorf("%s: speedup %.2fx outside [%.2f, %.2f]",
+				spec.Name, sp, e.minSpeedup, e.maxSpeedup)
+		}
+		// AMAT must improve wherever speedup does.
+		if sp > 1.05 && rs.AMAT.Measured() >= rb.AMAT.Measured() {
+			t.Errorf("%s: speedup %.2fx without AMAT reduction", spec.Name, sp)
+		}
+	}
+	gmean := stats.GeoMean(speedups)
+	fmt.Printf("geomean speedup: %.2fx (paper: 1.54x)\n", gmean)
+	if gmean < 1.30 || gmean > 1.75 {
+		t.Errorf("geomean speedup %.2fx outside [1.30, 1.75] around paper's 1.54x", gmean)
+	}
+}

@@ -1,0 +1,29 @@
+package core_test
+
+import (
+	"fmt"
+
+	"starnuma/internal/core"
+	"starnuma/internal/workload"
+)
+
+// Run the full three-step pipeline for a small POA instance — the
+// NUMA-insensitive workload whose accesses are all local after first
+// touch (§V-A).
+func ExampleRun() {
+	spec, _ := workload.ByName("POA", 0.05)
+	cfg := core.QuickSim()
+	cfg.Phases = 2
+
+	r, err := core.Run(core.StarNUMASystem(), cfg, spec)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fr := r.AMAT.Breakdown().Fractions()
+	fmt.Printf("local fraction: %.2f\n", fr[0])
+	fmt.Println("pool pages:", r.PoolPages)
+	// Output:
+	// local fraction: 1.00
+	// pool pages: 0
+}

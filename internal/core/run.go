@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+
+	"starnuma/internal/coherence"
+	"starnuma/internal/migrate"
+	"starnuma/internal/sim"
+	"starnuma/internal/stats"
+	"starnuma/internal/tlb"
+	"starnuma/internal/topology"
+	"starnuma/internal/workload"
+)
+
+// Result aggregates a workload's statistics across all simulated
+// checkpoints, the quantities behind the paper's Fig. 8 and Tables
+// III/IV.
+type Result struct {
+	Workload string
+	Policy   PolicyKind
+	Tracker  string
+
+	// IPC is the mean per-core post-warmup IPC across checkpoints.
+	IPC float64
+	// AMAT carries the measured mean, the analytically derived unloaded
+	// component, and the access-type breakdown.
+	AMAT *stats.AMAT
+	// MPKI is the measured miss rate.
+	MPKI float64
+
+	// MigrStats summarises step B's migration decisions (Table IV).
+	MigrStats migrate.Stats
+	// Dir sums the coherence directory activity of all windows.
+	Dir coherence.Stats
+	// PoolPages is the number of pages resident in the pool at the end.
+	PoolPages int
+	// MigrStalledAccesses counts accesses that waited on an in-flight
+	// page migration.
+	MigrStalledAccesses uint64
+	// TrackerFlushes is the tracker metadata traffic from step B.
+	TrackerFlushes uint64
+	// TLB sums the translation subsystem's activity across windows
+	// (shootdowns, targeted cores, induced walks).
+	TLB tlb.Stats
+	// Replication study (§V-F) counters.
+	ReplicatedPages    int
+	ReplicaReads       uint64
+	ReplicaWriteStalls uint64
+	// PageFaults counts minor faults taken by the software-tracking
+	// study's poisoned pages during timing windows.
+	PageFaults uint64
+	// SimulatedTime is the summed wall-clock of the timing windows.
+	SimulatedTime sim.Time
+	// Instructions / Misses are post-warmup totals.
+	Instructions uint64
+	Misses       uint64
+}
+
+// CoherenceTxnIntervalNS returns the mean simulated time between
+// directory transactions in nanoseconds (§V-A observes ~100ns on the
+// pool's directory). Returns 0 when no transactions occurred.
+func (r *Result) CoherenceTxnIntervalNS() float64 {
+	if r.Dir.Transactions == 0 {
+		return 0
+	}
+	return r.SimulatedTime.Nanos() / float64(r.Dir.Transactions)
+}
+
+// Run executes the full three-step pipeline for one workload on one
+// system and returns aggregated statistics.
+func Run(sys SystemConfig, cfg SimConfig, spec workload.Spec) (*Result, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	topo := topology.New(sys.Topology)
+	gen, err := workload.NewGenerator(spec, topo.Sockets(), sys.CoresPerSocket)
+	if err != nil {
+		return nil, err
+	}
+	return RunSource(sys, cfg, gen)
+}
+
+// RunSource executes the pipeline over an arbitrary access source (a
+// synthetic generator or a trace replay).
+func RunSource(sys SystemConfig, cfg SimConfig, gen AccessSource) (*Result, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	topo := topology.New(sys.Topology)
+	if want := topo.Sockets() * sys.CoresPerSocket; gen.NumCores() != want {
+		return nil, fmt.Errorf("core: source has %d cores, system needs %d", gen.NumCores(), want)
+	}
+	spec := gen.Spec()
+
+	// Step B: trace simulation producing checkpoints.
+	tr, err := TraceSimulate(sys, cfg, gen)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.StaticOracle {
+		applyStaticOracle(tr, sys, gen, int64(spec.Seed))
+	}
+
+	// Step C: one timing window per checkpoint.
+	res := &Result{
+		Workload:       spec.Name,
+		Policy:         cfg.Policy,
+		Tracker:        cfg.Tracker.String(),
+		AMAT:           stats.NewAMAT(),
+		MigrStats:      tr.MigrStats,
+		TrackerFlushes: tr.TrackerFlushes,
+	}
+	res.AMAT.SetUnloadedLatencies(unloadedLatencies(topo,
+		sys.SocketMem.OnChip+sys.SocketMem.DRAMLatency))
+	var ipcs []float64
+	for _, chk := range tr.Checkpoints {
+		w := runWindow(sys, cfg, gen, chk, tr.Replicated)
+		res.AMAT.Merge(w.amat)
+		ipcs = append(ipcs, w.ipcs...)
+		res.Instructions += w.instr
+		res.Misses += w.misses
+		res.Dir.Transactions += w.dir.Transactions
+		res.Dir.BT3Hop += w.dir.BT3Hop
+		res.Dir.BT4Hop += w.dir.BT4Hop
+		res.Dir.Invalidations += w.dir.Invalidations
+		res.MigrStalledAccesses += w.migrStalled
+		res.SimulatedTime += w.simTime
+		res.TLB.Hits += w.tlb.Hits
+		res.TLB.Walks += w.tlb.Walks
+		res.TLB.ShootdownWalks += w.tlb.ShootdownWalks
+		res.TLB.Shootdowns += w.tlb.Shootdowns
+		res.TLB.ShootdownTargets += w.tlb.ShootdownTargets
+		res.ReplicaReads += w.replicaReads
+		res.ReplicaWriteStalls += w.replicaWriteStalls
+		res.PageFaults += w.pageFaults
+	}
+	for _, rep := range tr.Replicated {
+		if rep {
+			res.ReplicatedPages++
+		}
+	}
+	res.IPC = stats.Mean(ipcs)
+	if res.Instructions > 0 {
+		res.MPKI = float64(res.Misses) / float64(res.Instructions) * 1000
+	}
+	if topo.HasPool() {
+		for _, h := range tr.FinalHome {
+			if h == topo.PoolNode() {
+				res.PoolPages++
+			}
+		}
+	}
+	return res, nil
+}
+
+// RunSuite runs every workload of the suite on one system configuration.
+func RunSuite(sys SystemConfig, cfg SimConfig, scale float64) ([]*Result, error) {
+	var out []*Result
+	for _, spec := range workload.Suite(scale) {
+		r, err := Run(sys, cfg, spec)
+		if err != nil {
+			return nil, fmt.Errorf("workload %s: %w", spec.Name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Speedup returns the IPC ratio of r over base.
+func Speedup(r, base *Result) float64 {
+	if base.IPC == 0 {
+		return 0
+	}
+	return r.IPC / base.IPC
+}

@@ -1,0 +1,28 @@
+package core
+
+import "starnuma/internal/workload"
+
+// AccessSource produces deterministic per-core LLC-miss streams for the
+// pipeline. workload.Generator is the synthetic implementation;
+// trace.Source replays step-A trace files (§IV-A1) through the same
+// steps B and C.
+type AccessSource interface {
+	// Next returns core's next miss. Sources must be deterministic:
+	// identical (phase, call sequence) yields identical streams, since
+	// steps B and C replay the same phases independently.
+	Next(core int) workload.Access
+	// ResetPhase rewinds every core's stream to the start of phase.
+	ResetPhase(phase int)
+	// NumPages is the footprint size in 4KB pages.
+	NumPages() int
+	// NumCores is the total core count.
+	NumCores() int
+	// SocketOf maps a core index to its socket.
+	SocketOf(core int) int
+	// Spec carries the workload's timing parameters (zero-load IPC
+	// derivation, MLP, MPKI).
+	Spec() workload.Spec
+}
+
+// compile-time check: the synthetic generator is an AccessSource.
+var _ AccessSource = (*workload.Generator)(nil)

@@ -1,0 +1,682 @@
+package core
+
+import (
+	"fmt"
+
+	"starnuma/internal/cache"
+	"starnuma/internal/coherence"
+	"starnuma/internal/link"
+	"starnuma/internal/memdev"
+	"starnuma/internal/sim"
+	"starnuma/internal/stats"
+	"starnuma/internal/tlb"
+	"starnuma/internal/topology"
+	"starnuma/internal/tracker"
+	"starnuma/internal/workload"
+)
+
+// annexFlushBatch mirrors the tracker's flush rate: one metadata write
+// per this many LLC misses per socket (§III-D1's TLB annex).
+const annexFlushBatch = 32
+
+// pageLineMessages is how many line-sized packets carry one migrated
+// 4KB page. Pages are packetised rather than sent as one bulk message so
+// demand traffic interleaves with migration traffic — a monolithic 4KB
+// transfer would monopolise a 3 GB/s link for ~1.4µs and head-of-line
+// block every request behind it.
+const pageLineMessages = workload.PageBytes / cache.BlockBytes
+
+// coreState is the MLP-limited timing model of one core (DESIGN.md §3):
+// compute retires at the workload's zero-load IPC, at most MLP misses
+// overlap, and the next miss may not issue before its compute position.
+type coreState struct {
+	id, socket  int
+	instr       uint64   // instructions retired so far (by gap accounting)
+	compute     sim.Time // compute-completion time of work up to the pending miss
+	pending     *workload.Access
+	outstanding int
+	done        bool
+	wakeAt      sim.Time // earliest scheduled self-wake (dedup)
+	hasWake     bool
+
+	warmupDone  bool
+	warmupTime  sim.Time
+	warmupInstr uint64
+	finish      sim.Time
+}
+
+// windowStats is what one step-C timing window produces.
+type windowStats struct {
+	amat        *stats.AMAT
+	ipcs        []float64 // per-core post-warmup IPC
+	instr       uint64    // post-warmup instructions
+	misses      uint64    // post-warmup misses
+	dir         coherence.Stats
+	migrStalled uint64 // accesses stalled behind in-flight migrations
+	migrModeled int
+	simTime     sim.Time
+	tlb         tlb.Stats
+	// replication study counters (§V-F)
+	replicaReads       uint64
+	replicaWriteStalls uint64
+	// software-tracking study: minor page faults taken in the window
+	pageFaults uint64
+}
+
+// timingSystem wires the substrate models together for one window.
+type timingSystem struct {
+	sys  SystemConfig
+	cfg  SimConfig
+	topo *topology.Topology
+	eng  *sim.Engine
+	gen  AccessSource
+
+	links   []*link.Link
+	ctrls   []*memdev.Controller // indexed by node
+	llcs    []*cache.LLC         // indexed by socket
+	dir     *coherence.Directory
+	tlbs    *tlb.System      // nil when TLB modelling is disabled
+	sampler *tracker.Sampler // nil unless the software-tracking study runs
+
+	pageHome   []topology.NodeID
+	inFlight   map[uint32][]func() // page -> callbacks waiting for migration
+	replicated []bool              // §V-F study; nil when disabled
+
+	cores   []*coreState
+	running int
+
+	ipc0    float64
+	cyclePS float64
+	mlp     int
+
+	chargeTracker bool
+	annexCount    []uint64
+
+	w windowStats
+}
+
+// newTimingSystem builds a fresh system for one checkpoint window.
+func newTimingSystem(sys SystemConfig, cfg SimConfig, gen AccessSource,
+	chk Checkpoint, replicated []bool) *timingSystem {
+	topo := topology.New(sys.Topology)
+	ts := &timingSystem{
+		sys:           sys,
+		cfg:           cfg,
+		topo:          topo,
+		eng:           sim.NewEngine(),
+		gen:           gen,
+		dir:           coherence.NewDirectory(topo.Sockets()),
+		inFlight:      make(map[uint32][]func()),
+		cyclePS:       sys.CyclePS(),
+		mlp:           gen.Spec().MLP,
+		annexCount:    make([]uint64, topo.Sockets()),
+		chargeTracker: cfg.Policy == PolicyStarNUMA && !cfg.StaticOracle,
+	}
+	localMissCycles := float64(ts.localUnloaded()) / ts.cyclePS
+	ts.ipc0 = gen.Spec().ZeroLoadIPC(localMissCycles)
+	if cfg.ModelTLB {
+		ts.tlbs = tlb.NewSystem(topo.Sockets()*sys.CoresPerSocket, tlb.DefaultConfig())
+	}
+	if cfg.SoftwareTracking.Enable {
+		// A window-local sampler with the same seed redraws the exact
+		// sample step B used for this phase.
+		tbl := tracker.NewTable(cfg.Tracker, gen.NumPages(), cfg.RegionPages)
+		ts.sampler = tracker.NewSampler(tbl, cfg.SoftwareTracking.SampleFrac, gen.Spec().Seed)
+		ts.sampler.ResetPhase(chk.Phase)
+		ts.chargeTracker = false // faults replace annex flush traffic
+	}
+
+	// Links: one bandwidth server per directed channel.
+	for _, ch := range topo.Channels() {
+		var bw link.GBps
+		switch ch.Kind {
+		case topology.KindUPI, topology.KindUPIASIC:
+			bw = sys.UPIBandwidth
+		case topology.KindNUMALink:
+			bw = sys.NUMABandwidth
+		case topology.KindCXL:
+			bw = sys.Pool.LinkBW
+		}
+		ts.links = append(ts.links, link.New(
+			fmt.Sprintf("%s:%s->%s", ch.Kind, ch.From, ch.To), bw, ch.Latency))
+	}
+
+	// Memory controllers per node.
+	for s := 0; s < topo.Sockets(); s++ {
+		ts.ctrls = append(ts.ctrls, memdev.NewController(fmt.Sprintf("s%d", s), sys.SocketMem))
+		ts.llcs = append(ts.llcs, cache.New(sys.LLCBytes, sys.LLCWays))
+	}
+	if topo.HasPool() {
+		pm := sys.PoolMem
+		pm.Channels = sys.Pool.Channels
+		ts.ctrls = append(ts.ctrls, memdev.NewController("pool", pm))
+	}
+
+	// Placement state.
+	ts.pageHome = make([]topology.NodeID, len(chk.PageHome))
+	copy(ts.pageHome, chk.PageHome)
+	ts.replicated = replicated
+
+	// Cores.
+	n := topo.Sockets() * sys.CoresPerSocket
+	for c := 0; c < n; c++ {
+		ts.cores = append(ts.cores, &coreState{id: c, socket: gen.SocketOf(c)})
+	}
+	ts.running = n
+	ts.w.amat = stats.NewAMAT()
+	ts.w.amat.SetUnloadedLatencies(unloadedLatencies(topo, ts.localUnloaded()))
+	return ts
+}
+
+// localUnloaded is the zero-contention local access latency of the
+// configured memory.
+func (ts *timingSystem) localUnloaded() sim.Time {
+	return ts.sys.SocketMem.OnChip + ts.sys.SocketMem.DRAMLatency
+}
+
+// unloadedLatencies derives per-access-type zero-contention latencies
+// from the topology's link constants, so the AMAT decomposition follows
+// the system being simulated (Fig. 10's switched pool shifts Pool and
+// BT_Pool automatically).
+func unloadedLatencies(topo *topology.Topology, local sim.Time) [stats.NumAccessTypes]sim.Time {
+	var out [stats.NumAccessTypes]sim.Time
+	cfg := topo.Config()
+	out[stats.Local] = local
+	out[stats.OneHop] = 2*cfg.UPIOneWay + local
+	inter := 2 * (2*cfg.UPIOneWay + 2*cfg.ASICOneWay + cfg.NUMAOneWay)
+	out[stats.TwoHop] = inter + local
+	out[stats.Pool] = 2*cfg.CXLOneWay + local
+	// BT_Socket: mean 3-hop network latency over R,H,O combinations plus
+	// a home memory/directory access (§V-A).
+	if topo.Sockets() > 1 {
+		var sum sim.Time
+		var n int
+		for r := topology.NodeID(0); int(r) < topo.Sockets(); r++ {
+			for h := topology.NodeID(0); int(h) < topo.Sockets(); h++ {
+				for o := topology.NodeID(0); int(o) < topo.Sockets(); o++ {
+					if r == o {
+						continue
+					}
+					sum += topo.OneWayLatency(r, h) + topo.OneWayLatency(h, o) + topo.OneWayLatency(o, r)
+					n++
+				}
+			}
+		}
+		out[stats.BTSocket] = sim.Time(int64(sum)/int64(n)) + local
+	} else {
+		out[stats.BTSocket] = local
+	}
+	out[stats.BTPool] = 4*cfg.CXLOneWay + local
+	return out
+}
+
+// sendPath forwards a message hop by hop from node from to node to,
+// calling then with the delivery time. Empty routes (from == to) deliver
+// at start.
+func (ts *timingSystem) sendPath(start sim.Time, from, to topology.NodeID, bytes int, then func(sim.Time)) {
+	ts.sendHops(start, ts.topo.Route(from, to), bytes, then)
+}
+
+func (ts *timingSystem) sendHops(at sim.Time, hops []int, bytes int, then func(sim.Time)) {
+	if len(hops) == 0 {
+		then(at)
+		return
+	}
+	send := func(now sim.Time) {
+		delivered, _ := ts.links[hops[0]].Send(now, bytes)
+		ts.sendHops(delivered, hops[1:], bytes, then)
+	}
+	if at > ts.eng.Now() {
+		ts.eng.At(at, send)
+	} else {
+		send(ts.eng.Now())
+	}
+}
+
+// sendPage streams one 4KB page as line-sized packets from from to to,
+// invoking then when the final packet lands. Packets share the route's
+// links with demand traffic in FIFO order, so migrations consume
+// bandwidth without head-of-line blocking whole-page transfers.
+func (ts *timingSystem) sendPage(start sim.Time, from, to topology.NodeID, then func(sim.Time)) {
+	remaining := pageLineMessages
+	var lastArrival sim.Time
+	for i := 0; i < pageLineMessages; i++ {
+		ts.sendPath(start, from, to, ts.sys.DataBytes, func(arr sim.Time) {
+			if arr > lastArrival {
+				lastArrival = arr
+			}
+			remaining--
+			if remaining == 0 {
+				then(lastArrival)
+			}
+		})
+	}
+}
+
+// memAccess performs a DRAM access at node when the request arrives
+// there, invoking then with the data-ready time.
+func (ts *timingSystem) memAccess(at sim.Time, node topology.NodeID, addr uint64, then func(sim.Time)) {
+	access := func(now sim.Time) {
+		done, _ := ts.ctrls[node].Access(now, addr, cache.BlockBytes)
+		then(done)
+	}
+	if at > ts.eng.Now() {
+		ts.eng.At(at, access)
+	} else {
+		access(ts.eng.Now())
+	}
+}
+
+// start launches the cores and the migration engine.
+func (ts *timingSystem) start(chk Checkpoint) {
+	ts.scheduleMigrations(chk)
+	for _, cs := range ts.cores {
+		cs := cs
+		ts.eng.At(0, func(sim.Time) { ts.tryIssue(cs) })
+	}
+}
+
+// scheduleMigrations models the window's share of the phase's migrations
+// (§IV-C: timing simulation covers the first TimedInstr/PhaseInstr of
+// the phase, hence that fraction of its migrations). The initiating core
+// serialises migrations at MigrationCostCycles each; page data crosses
+// the interconnect and accesses to an in-flight page stall until the
+// data lands.
+func (ts *timingSystem) scheduleMigrations(chk Checkpoint) {
+	frac := float64(ts.cfg.TimedInstr) / float64(ts.cfg.PhaseInstr)
+	n := int(float64(len(chk.Migrations)) * frac)
+	if n > len(chk.Migrations) {
+		n = len(chk.Migrations)
+	}
+	ts.w.migrModeled = n
+	costPS := sim.Time(float64(ts.cfg.MigrationCostCycles) * ts.cyclePS)
+	for k := 0; k < n; k++ {
+		m := chk.Migrations[k]
+		startAt := sim.Time(k) * costPS
+		ts.eng.At(startAt, func(now sim.Time) {
+			page := m.Page
+			if ts.tlbs != nil {
+				// Hardware-assisted targeted shootdown (§III-D3): only
+				// cores caching the translation are invalidated; they
+				// repay with a page walk on their next access.
+				ts.tlbs.Shootdown(page)
+			}
+			ts.pageHome[page] = m.To
+			if _, ok := ts.inFlight[page]; !ok {
+				ts.inFlight[page] = nil
+			}
+			from := m.From
+			if from == Unassigned {
+				from = m.To
+			}
+			ts.sendPage(now, from, m.To, func(arr sim.Time) {
+				fire := func(sim.Time) {
+					waiters := ts.inFlight[page]
+					delete(ts.inFlight, page)
+					for _, w := range waiters {
+						w()
+					}
+				}
+				if arr > ts.eng.Now() {
+					ts.eng.At(arr, fire)
+				} else {
+					fire(ts.eng.Now())
+				}
+			})
+		})
+	}
+	// Remaining migrations take effect instantly at window start: the
+	// next checkpoint's map already reflects them in step B, and the
+	// paper likewise only models the window's share.
+	for k := n; k < len(chk.Migrations); k++ {
+		ts.pageHome[chk.Migrations[k].Page] = chk.Migrations[k].To
+	}
+}
+
+// tryIssue advances a core: it fetches accesses from the generator and
+// issues them subject to the MLP cap and the compute-position constraint.
+func (ts *timingSystem) tryIssue(cs *coreState) {
+	if cs.done {
+		return
+	}
+	now := ts.eng.Now()
+	for cs.outstanding < ts.mlp {
+		if cs.pending == nil {
+			if cs.instr >= ts.cfg.TimedInstr {
+				// Budget consumed; core finishes when outstanding drain.
+				if cs.outstanding == 0 {
+					ts.finishCore(cs, now)
+				}
+				return
+			}
+			a := ts.gen.Next(cs.id)
+			cs.instr += uint64(a.Gap)
+			cs.compute += gapTime(a.Gap, ts.ipc0, ts.cyclePS)
+			cs.pending = &a
+			if !cs.warmupDone && cs.instr >= ts.cfg.WarmupInstr {
+				cs.warmupDone = true
+				cs.warmupTime = now
+				if cs.compute > now {
+					cs.warmupTime = cs.compute
+				}
+				cs.warmupInstr = cs.instr
+			}
+		}
+		if cs.compute > now {
+			// Next miss's compute position not reached: wake then.
+			if !cs.hasWake || cs.wakeAt > cs.compute {
+				cs.hasWake = true
+				cs.wakeAt = cs.compute
+				ts.eng.At(cs.compute, func(sim.Time) {
+					cs.hasWake = false
+					ts.tryIssue(cs)
+				})
+			}
+			return
+		}
+		a := *cs.pending
+		cs.pending = nil
+		cs.outstanding++
+		ts.issueAccess(cs, a, now, cs.warmupDone)
+	}
+}
+
+// finishCore retires a core at the end of its window.
+func (ts *timingSystem) finishCore(cs *coreState, now sim.Time) {
+	cs.done = true
+	cs.finish = now
+	if cs.compute > cs.finish {
+		cs.finish = cs.compute
+	}
+	// Post-warmup IPC.
+	instr := float64(cs.instr - cs.warmupInstr)
+	elapsed := float64(cs.finish - cs.warmupTime)
+	if !cs.warmupDone || elapsed <= 0 {
+		instr = float64(cs.instr)
+		elapsed = float64(cs.finish)
+	}
+	ipc := 0.0
+	if elapsed > 0 {
+		ipc = instr / (elapsed / ts.cyclePS)
+	}
+	ts.w.ipcs = append(ts.w.ipcs, ipc)
+	ts.running--
+	if ts.running == 0 {
+		ts.w.simTime = now
+		ts.eng.Halt()
+	}
+}
+
+// issueAccess simulates one LLC miss end to end.
+func (ts *timingSystem) issueAccess(cs *coreState, a workload.Access, issued sim.Time, record bool) {
+	// Stall behind an in-flight migration of the page (§IV-C).
+	if waiters, ok := ts.inFlight[a.Page]; ok {
+		ts.w.migrStalled++
+		ts.inFlight[a.Page] = append(waiters, func() {
+			ts.issueAccess(cs, a, issued, record)
+		})
+		return
+	}
+	now := ts.eng.Now()
+	// Software-tracking study: the first access to each poisoned page in
+	// a phase takes a minor page fault before anything else happens.
+	if ts.sampler != nil && ts.sampler.WouldFault(a.Page) {
+		ts.sampler.MarkFaulted(a.Page)
+		ts.w.pageFaults++
+		penalty := sim.Time(float64(ts.cfg.SoftwareTracking.FaultPenaltyCycles) * ts.cyclePS)
+		ts.eng.At(now+penalty, func(sim.Time) { ts.issueAccessAfterWalk(cs, a, issued, record) })
+		return
+	}
+	// Translation: steady-state TLB behaviour is part of the measured
+	// single-socket IPC, so only shootdown-induced walks (the marginal
+	// cost of migrations) charge latency — modelled by delaying the
+	// access by the page-walk penalty.
+	if ts.tlbs != nil {
+		if _, shot := ts.tlbs.Access(cs.id, a.Page); shot && ts.cfg.PageWalkPenalty > 0 {
+			delay := ts.cfg.PageWalkPenalty
+			ts.eng.At(now+delay, func(sim.Time) { ts.issueAccessAfterWalk(cs, a, issued, record) })
+			return
+		}
+	}
+	ts.issueAccessAfterWalk(cs, a, issued, record)
+}
+
+// issueAccessAfterWalk continues issueAccess past the translation stage.
+func (ts *timingSystem) issueAccessAfterWalk(cs *coreState, a workload.Access, issued sim.Time, record bool) {
+	now := ts.eng.Now()
+	socket := topology.NodeID(cs.socket)
+	home := ts.pageHome[a.Page]
+	if home == Unassigned {
+		home = socket // first touch during timing
+		ts.pageHome[a.Page] = home
+	}
+	block := uint64(a.Page)*workload.BlocksPerPage + uint64(a.Block)
+	addr := block * cache.BlockBytes
+
+	// Replication study (§V-F): reads of a replicated page are served by
+	// the socket-local replica; writes pay the software coherence
+	// penalty for invalidating every replica, plus broadcast traffic.
+	// Replicated pages bypass the hardware directory — their coherence
+	// is software's problem, which is precisely the study's point.
+	if ts.replicated != nil && ts.replicated[a.Page] {
+		ts.replicatedAccess(cs, a, socket, home, addr, issued, record)
+		return
+	}
+
+	// LLC presence update; evictions update the directory and generate
+	// writeback traffic.
+	if victim, vDirty, evicted := ts.llcs[cs.socket].Insert(block, a.Write); evicted {
+		if ts.dir.Evict(socket, victim, vDirty) {
+			victimPage := uint32(victim / workload.BlocksPerPage)
+			vHome := socket
+			if int(victimPage) < len(ts.pageHome) && ts.pageHome[victimPage] != Unassigned {
+				vHome = ts.pageHome[victimPage]
+			}
+			// Fire-and-forget writeback of the dirty line.
+			ts.sendPath(now, socket, vHome, ts.sys.DataBytes, func(sim.Time) {})
+		}
+	}
+
+	homeIsPool := ts.topo.HasPool() && home == ts.topo.PoolNode()
+	res := ts.dir.Access(socket, block, a.Write, homeIsPool)
+
+	// Invalidations: state updates immediate, traffic asynchronous.
+	for _, tgt := range res.Invalidate {
+		ts.llcs[tgt].Invalidate(block)
+		tgt := tgt
+		ts.sendPath(now, home, tgt, ts.sys.MessageBytes, func(arr sim.Time) {
+			ts.sendPath(arr, tgt, home, ts.sys.MessageBytes, func(sim.Time) {})
+		})
+	}
+	// A write with a remote dirty owner is an RFO: the transfer itself
+	// invalidates the owner's copy (no extra message needed).
+	if a.Write && res.Owner >= 0 {
+		ts.llcs[res.Owner].Invalidate(block)
+	}
+
+	// Tracker metadata traffic (annex flushes).
+	if ts.chargeTracker {
+		ts.annexCount[cs.socket]++
+		if ts.annexCount[cs.socket]%annexFlushBatch == 0 {
+			region := int(a.Page) / ts.cfg.RegionPages
+			metaNode := topology.NodeID(region % ts.topo.Sockets())
+			ts.sendPath(now, socket, metaNode, ts.sys.DataBytes, func(arr sim.Time) {
+				ts.memAccess(arr, metaNode, addr, func(sim.Time) {})
+			})
+		}
+	}
+
+	complete := func(done sim.Time, at stats.AccessType) {
+		fin := func(now2 sim.Time) {
+			if record {
+				ts.w.amat.Observe(at, now2-issued)
+				ts.w.misses++
+			}
+			// Charge the miss's latency, divided by the core's MLP, as
+			// serial stall on the core timeline: the standard additive
+			// overlap model (1/IPC = 1/IPC₀ + missRate × L/MLP), which is
+			// also what ZeroLoadIPC inverts.
+			cs.compute += (now2 - issued) / sim.Time(ts.mlp)
+			cs.outstanding--
+			ts.tryIssue(cs)
+		}
+		if done > ts.eng.Now() {
+			ts.eng.At(done, fin)
+		} else {
+			fin(ts.eng.Now())
+		}
+	}
+
+	switch res.Outcome {
+	case coherence.Memory:
+		at := ts.classify(socket, home)
+		if home == socket {
+			ts.memAccess(now, home, addr, func(done sim.Time) { complete(done, at) })
+			return
+		}
+		ts.sendPath(now, socket, home, ts.sys.MessageBytes, func(arr sim.Time) {
+			ts.memAccess(arr, home, addr, func(ready sim.Time) {
+				ts.sendPath(ready, home, socket, ts.sys.DataBytes, func(done sim.Time) {
+					complete(done, at)
+				})
+			})
+		})
+	case coherence.BlockTransfer3Hop:
+		// R→H request, directory+memory access at H, H→O forward, O→R
+		// data (Fig. 4's red path).
+		owner := res.Owner
+		ts.sendPath(now, socket, home, ts.sys.MessageBytes, func(arr sim.Time) {
+			ts.memAccess(arr, home, addr, func(ready sim.Time) {
+				ts.sendPath(ready, home, owner, ts.sys.MessageBytes, func(fwd sim.Time) {
+					ts.sendPath(fwd, owner, socket, ts.sys.DataBytes, func(done sim.Time) {
+						complete(done, stats.BTSocket)
+					})
+				})
+			})
+		})
+	case coherence.BlockTransfer4Hop:
+		owner := res.Owner
+		poolN := ts.topo.PoolNode()
+		if ts.cfg.ForceDirectBT {
+			// Ablation: direct owner→requester transfer despite the pool
+			// home — the path Fig. 4 shows to be slower on average.
+			ts.sendPath(now, socket, poolN, ts.sys.MessageBytes, func(arr sim.Time) {
+				ts.memAccess(arr, poolN, addr, func(ready sim.Time) {
+					ts.sendPath(ready, poolN, owner, ts.sys.MessageBytes, func(fwd sim.Time) {
+						ts.sendPath(fwd, owner, socket, ts.sys.DataBytes, func(done sim.Time) {
+							complete(done, stats.BTSocket)
+						})
+					})
+				})
+			})
+			return
+		}
+		// R→H(pool), directory at pool, H→O forward, O→H data, H→R data
+		// (Fig. 4's blue path).
+		ts.sendPath(now, socket, poolN, ts.sys.MessageBytes, func(arr sim.Time) {
+			ts.memAccess(arr, poolN, addr, func(ready sim.Time) {
+				ts.sendPath(ready, poolN, owner, ts.sys.MessageBytes, func(fwd sim.Time) {
+					ts.sendPath(fwd, owner, poolN, ts.sys.DataBytes, func(back sim.Time) {
+						ts.sendPath(back, poolN, socket, ts.sys.DataBytes, func(done sim.Time) {
+							complete(done, stats.BTPool)
+						})
+					})
+				})
+			})
+		})
+	default:
+		panic(fmt.Sprintf("core: unknown outcome %v", res.Outcome))
+	}
+}
+
+// replicatedAccess services an access to a software-replicated page.
+func (ts *timingSystem) replicatedAccess(cs *coreState, a workload.Access,
+	socket, home topology.NodeID, addr uint64, issued sim.Time, record bool) {
+	now := ts.eng.Now()
+	fin := func(done sim.Time, at stats.AccessType) {
+		step := func(now2 sim.Time) {
+			if record {
+				ts.w.amat.Observe(at, now2-issued)
+				ts.w.misses++
+			}
+			cs.compute += (now2 - issued) / sim.Time(ts.mlp)
+			cs.outstanding--
+			ts.tryIssue(cs)
+		}
+		if done > ts.eng.Now() {
+			ts.eng.At(done, step)
+		} else {
+			step(ts.eng.Now())
+		}
+	}
+	if !a.Write {
+		if record {
+			ts.w.replicaReads++
+		}
+		ts.memAccess(now, socket, addr, func(done sim.Time) { fin(done, stats.Local) })
+		return
+	}
+	// Store: software replica coherence. Broadcast invalidations to every
+	// other socket, stall for the kernel-level penalty, then update the
+	// page's home copy.
+	if record {
+		ts.w.replicaWriteStalls++
+	}
+	for s := 0; s < ts.topo.Sockets(); s++ {
+		if topology.NodeID(s) == socket {
+			continue
+		}
+		ts.sendPath(now, socket, topology.NodeID(s), ts.sys.MessageBytes, func(sim.Time) {})
+	}
+	penalty := sim.Time(float64(ts.cfg.Replication.WritePenaltyCycles) * ts.cyclePS)
+	at := ts.classify(socket, home)
+	ts.eng.At(now+penalty, func(start sim.Time) {
+		if home == socket {
+			ts.memAccess(start, home, addr, func(done sim.Time) { fin(done, at) })
+			return
+		}
+		ts.sendPath(start, socket, home, ts.sys.MessageBytes, func(arr sim.Time) {
+			ts.memAccess(arr, home, addr, func(ready sim.Time) {
+				ts.sendPath(ready, home, socket, ts.sys.DataBytes, func(done sim.Time) {
+					fin(done, at)
+				})
+			})
+		})
+	})
+}
+
+// classify maps a memory access to its Fig. 8c category.
+func (ts *timingSystem) classify(socket, home topology.NodeID) stats.AccessType {
+	switch {
+	case home == socket:
+		return stats.Local
+	case ts.topo.HasPool() && home == ts.topo.PoolNode():
+		return stats.Pool
+	case ts.topo.Chassis(socket) == ts.topo.Chassis(home):
+		return stats.OneHop
+	default:
+		return stats.TwoHop
+	}
+}
+
+// runWindow executes one checkpoint's timing simulation.
+func runWindow(sys SystemConfig, cfg SimConfig, gen AccessSource,
+	chk Checkpoint, replicated []bool) windowStats {
+	ts := newTimingSystem(sys, cfg, gen, chk, replicated)
+	gen.ResetPhase(chk.Phase)
+	ts.start(chk)
+	ts.eng.Run()
+	// Cores that never finished (possible only on malformed configs)
+	// would leave running > 0; guard against silent nonsense.
+	if ts.running != 0 {
+		panic(fmt.Sprintf("core: %d cores never finished window (phase %d)", ts.running, chk.Phase))
+	}
+	for _, cs := range ts.cores {
+		ts.w.instr += cs.instr - cs.warmupInstr
+	}
+	ts.w.dir = ts.dir.Stats()
+	if ts.tlbs != nil {
+		ts.w.tlb = ts.tlbs.Stats()
+	}
+	return ts.w
+}

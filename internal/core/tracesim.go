@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+
+	"starnuma/internal/migrate"
+	"starnuma/internal/topology"
+	"starnuma/internal/tracker"
+	"starnuma/internal/workload"
+)
+
+// Checkpoint is the output of step B for one phase: the page map at
+// phase start plus the migrations that occur during the phase (§IV-A2).
+type Checkpoint struct {
+	Phase      int
+	PageHome   []topology.NodeID // placement at phase start
+	Migrations []migrate.Migration
+}
+
+// TraceResult bundles step B's outputs.
+type TraceResult struct {
+	Checkpoints []Checkpoint
+	// Replicated marks the pages selected for replication (§V-F study);
+	// nil unless the replication study is enabled.
+	Replicated []bool
+	// FinalHome is the placement after the last phase's decisions.
+	FinalHome []topology.NodeID
+	// Totals aggregates whole-run per-page access counts (oracle input,
+	// Fig. 2/13 style analyses).
+	Totals *migrate.PageCounts
+	// MigrStats summarises the policy's decisions (Table IV).
+	MigrStats migrate.Stats
+	// TrackerFlushes is the metadata write traffic the tracker generated.
+	TrackerFlushes uint64
+}
+
+// phaseAccesses returns how many misses one core generates in a step-B
+// phase: the generator is drawn until the core's instruction budget is
+// consumed.
+func runPhaseTrace(gen AccessSource, phase int, phaseInstr uint64,
+	visit func(core int, a workload.Access)) {
+	gen.ResetPhase(phase)
+	cores := gen.NumCores()
+	// Interleave cores round-robin, each consuming its own instruction
+	// budget. Round-robin at miss granularity approximates global
+	// instruction-count ordering well enough for first-touch purposes.
+	instr := make([]uint64, cores)
+	active := cores
+	for active > 0 {
+		for c := 0; c < cores; c++ {
+			if instr[c] >= phaseInstr {
+				continue
+			}
+			a := gen.Next(c)
+			instr[c] += uint64(a.Gap)
+			if instr[c] >= phaseInstr {
+				active--
+			}
+			visit(c, a)
+		}
+	}
+}
+
+// TraceSimulate runs step B: per-phase migration decisions over the full
+// workload trace, producing one checkpoint per phase.
+func TraceSimulate(sys SystemConfig, cfg SimConfig, gen AccessSource) (*TraceResult, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	topo := topology.New(sys.Topology)
+	sockets := topo.Sockets()
+	pages := gen.NumPages()
+
+	home := make([]topology.NodeID, pages)
+	for i := range home {
+		if cfg.StripedPlacement {
+			home[i] = topology.NodeID(i % sockets)
+		} else {
+			home[i] = Unassigned
+		}
+	}
+
+	tbl := tracker.NewTable(cfg.Tracker, pages, cfg.RegionPages)
+	var sampler *tracker.Sampler
+	if cfg.SoftwareTracking.Enable {
+		sampler = tracker.NewSampler(tbl, cfg.SoftwareTracking.SampleFrac, gen.Spec().Seed)
+	}
+	counts := migrate.NewPageCounts(pages, sockets)
+	totals := migrate.NewPageCounts(pages, sockets)
+
+	st := &migrate.State{
+		PageHome: home,
+		Tracker:  tbl,
+		Counts:   counts,
+		Sockets:  sockets,
+		HasPool:  topo.HasPool(),
+		PoolNode: topo.PoolNode(),
+	}
+	if topo.HasPool() {
+		st.PoolCapacityPages = sys.Pool.CapacityPages(pages)
+	}
+
+	var policy migrate.Policy
+	switch cfg.Policy {
+	case PolicyStarNUMA:
+		// Auto-scale zero thresholds from the workload's expected access
+		// rate: mean region accesses per phase.
+		spec := gen.Spec()
+		phaseAccesses := float64(gen.NumCores()) * float64(cfg.PhaseInstr) * spec.MPKI / 1000
+		mcfg := cfg.Migration.AutoScale(phaseAccesses / float64(tbl.NumRegions()))
+		policy = migrate.NewStarNUMA(mcfg)
+	case PolicyPerfectBaseline:
+		policy = migrate.NewPerfectBaseline(cfg.BaselineMigrationLimit)
+	case PolicyNone:
+		policy = migrate.NoMigration{}
+	default:
+		return nil, fmt.Errorf("core: unknown policy %v", cfg.Policy)
+	}
+	if cfg.StaticOracle {
+		policy = migrate.NoMigration{}
+	}
+
+	res := &TraceResult{Totals: totals}
+
+	// Checkpoint 0: nothing placed yet, no in-flight migrations; pages
+	// are first-touched during the phase itself.
+	snap0 := make([]topology.NodeID, pages)
+	copy(snap0, home)
+	res.Checkpoints = append(res.Checkpoints, Checkpoint{Phase: 0, PageHome: snap0})
+
+	for phase := 0; phase < cfg.Phases; phase++ {
+		counts.Reset()
+		if sampler != nil {
+			sampler.ResetPhase(phase)
+		} else {
+			tbl.Reset()
+		}
+		runPhaseTrace(gen, phase, cfg.PhaseInstr, func(c int, a workload.Access) {
+			s := gen.SocketOf(c)
+			if home[a.Page] == Unassigned {
+				home[a.Page] = topology.NodeID(s) // first touch
+			}
+			if sampler != nil {
+				sampler.Record(s, a.Page)
+			} else {
+				tbl.Record(s, a.Page)
+			}
+			counts.Record(s, a.Page)
+			if a.Write {
+				counts.RecordWrite(a.Page)
+			}
+		})
+		counts.AddInto(totals)
+
+		if phase+1 >= cfg.Phases {
+			break // no decision needed after the final phase
+		}
+		// Snapshot the end-of-phase placement, then let the policy decide
+		// the migrations that will occur *during* the next phase (§IV-A2:
+		// "the N-th checkpoint indicates the set of migrations that must
+		// be modeled during phase P_N's simulation"). Decide mutates
+		// `home` so subsequent trace phases see the post-migration state.
+		snap := make([]topology.NodeID, pages)
+		copy(snap, home)
+		pending := policy.Decide(phase, st)
+		res.Checkpoints = append(res.Checkpoints, Checkpoint{
+			Phase:      phase + 1,
+			PageHome:   snap,
+			Migrations: pending,
+		})
+	}
+
+	if cfg.Replication.Enable {
+		res.Replicated = migrate.ReplicationSet(totals, cfg.Replication)
+	}
+	res.FinalHome = home
+	res.TrackerFlushes = tbl.Flushes()
+	switch p := policy.(type) {
+	case *migrate.StarNUMA:
+		res.MigrStats = p.Stats()
+	case *migrate.PerfectBaseline:
+		res.MigrStats = p.Stats()
+	}
+	return res, nil
+}
+
+// checkpointMapWithStatic replaces every checkpoint's page map with the
+// oracle placement and drops all migrations (§V-B's static placement
+// studies).
+func applyStaticOracle(tr *TraceResult, sys SystemConfig, gen AccessSource, seed int64) {
+	topo := topology.New(sys.Topology)
+	cfg := migrate.StaticOracleConfig{
+		Sockets:             topo.Sockets(),
+		HasPool:             topo.HasPool(),
+		PoolNode:            topo.PoolNode(),
+		PoolSharerThreshold: 8,
+		Seed:                seed,
+	}
+	if topo.HasPool() {
+		cfg.PoolCapacityPages = sys.Pool.CapacityPages(gen.NumPages())
+	}
+	placement := migrate.StaticOraclePlacement(tr.Totals, cfg)
+	for i := range tr.Checkpoints {
+		tr.Checkpoints[i].PageHome = placement
+		tr.Checkpoints[i].Migrations = nil
+	}
+	tr.FinalHome = placement
+}

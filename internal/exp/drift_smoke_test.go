@@ -1,0 +1,29 @@
+package exp
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestExtDriftSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	o := Quick()
+	r := NewRunner(o)
+	tbl, err := r.ExtDrift()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Print(tbl.Render())
+	// At zero drift the static oracle matches dynamic migration; at high
+	// drift it must fall behind (the Fig. 9 ordering reverses).
+	atZero := parseX(t, tbl.Rows[0][2])
+	atHigh := parseX(t, tbl.Rows[2][2])
+	if atZero < 0.9 {
+		t.Errorf("static oracle at zero drift = %v, want ~1.0", atZero)
+	}
+	if atHigh >= 0.95 {
+		t.Errorf("static oracle at 50%% drift = %v, want clearly below dynamic's 1.0", atHigh)
+	}
+}

@@ -1,0 +1,30 @@
+package exp_test
+
+import (
+	"fmt"
+
+	"starnuma/internal/exp"
+)
+
+// Static experiments (latency algebra) run instantly; simulation-backed
+// ones go through a Runner.
+func ExampleFig4() {
+	tbl := exp.Fig4()
+	fmt.Println(tbl.Rows[1][0], "=", tbl.Rows[1][1])
+	// Output:
+	// 4-hop via pool = 200ns
+}
+
+// Tables render as text, CSV, Markdown, or ASCII bar charts.
+func ExampleTable_BarChart() {
+	tbl := &exp.Table{
+		ID: "demo", Title: "speedup", Columns: []string{"workload", "speedup"},
+		Rows: [][]string{{"BFS", "2.0x"}, {"POA", "1.0x"}},
+	}
+	chart, _ := tbl.BarChart(1, 8)
+	fmt.Print(chart)
+	// Output:
+	// == demo: speedup — speedup ==
+	// BFS 2.0x     ████████
+	// POA 1.0x     ████
+}

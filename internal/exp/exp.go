@@ -1,0 +1,160 @@
+// Package exp reproduces every table and figure of the StarNUMA
+// evaluation (§V). Each experiment returns a Table whose rows mirror the
+// series the paper reports; cmd/expall renders the full set and
+// EXPERIMENTS.md records paper-vs-measured values.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"starnuma/internal/core"
+	"starnuma/internal/workload"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	ID      string // e.g. "fig8a"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes records the paper's reported values/shape for comparison.
+	Notes string
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "paper: %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale multiplies workload footprints (DESIGN.md §4).
+	Scale float64
+	// Sim is the base methodology configuration; experiments override
+	// policy/tracker per variant.
+	Sim core.SimConfig
+	// Workloads restricts the suite (nil = all eight).
+	Workloads []string
+}
+
+// Quick returns bench/test-sized options (minutes for the full suite).
+func Quick() Options {
+	return Options{Scale: 0.125, Sim: core.QuickSim()}
+}
+
+// Default returns the full evaluation options.
+func Default() Options {
+	return Options{Scale: 0.25, Sim: core.DefaultSim()}
+}
+
+// specs resolves the selected workloads.
+func (o Options) specs() ([]workload.Spec, error) {
+	all := workload.Suite(o.Scale)
+	if len(o.Workloads) == 0 {
+		return all, nil
+	}
+	want := map[string]bool{}
+	for _, n := range o.Workloads {
+		want[n] = true
+	}
+	var out []workload.Spec
+	for _, s := range all {
+		if want[s.Name] {
+			out = append(out, s)
+			delete(want, s.Name)
+		}
+	}
+	if len(want) != 0 {
+		var missing []string
+		for n := range want {
+			missing = append(missing, n)
+		}
+		sort.Strings(missing)
+		return nil, fmt.Errorf("exp: unknown workloads %v", missing)
+	}
+	return out, nil
+}
+
+// Runner memoises core.Run results so experiments sharing a
+// configuration (e.g. the baseline used by Figs. 8-12) simulate it once.
+type Runner struct {
+	opts  Options
+	cache map[string]*core.Result
+}
+
+// NewRunner creates a runner for the given options.
+func NewRunner(opts Options) *Runner {
+	return &Runner{opts: opts, cache: make(map[string]*core.Result)}
+}
+
+// Options returns the runner's options.
+func (r *Runner) Options() Options { return r.opts }
+
+// run executes (or recalls) one (variant, workload) simulation. The
+// variant key must uniquely identify sys+cfg.
+func (r *Runner) run(variant string, sys core.SystemConfig, cfg core.SimConfig, spec workload.Spec) (*core.Result, error) {
+	key := variant + "|" + spec.Name
+	if res, ok := r.cache[key]; ok {
+		return res, nil
+	}
+	res, err := core.Run(sys, cfg, spec)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s/%s: %w", variant, spec.Name, err)
+	}
+	r.cache[key] = res
+	return res, nil
+}
+
+// baseline runs the paper's favoured baseline: no pool, perfect
+// zero-cost page knowledge.
+func (r *Runner) baseline(spec workload.Spec) (*core.Result, error) {
+	cfg := r.opts.Sim
+	cfg.Policy = core.PolicyPerfectBaseline
+	return r.run("baseline", core.BaselineSystem(), cfg, spec)
+}
+
+// starnuma runs the default StarNUMA configuration (T16 tracker).
+func (r *Runner) starnuma(spec workload.Spec) (*core.Result, error) {
+	cfg := r.opts.Sim
+	cfg.Policy = core.PolicyStarNUMA
+	return r.run("starnuma-t16", core.StarNUMASystem(), cfg, spec)
+}
+
+// formatting helpers
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+func ns(v float64) string  { return fmt.Sprintf("%.0fns", v) }
+func x(v float64) string   { return fmt.Sprintf("%.2fx", v) }

@@ -1,0 +1,285 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"starnuma/internal/core"
+)
+
+// tinyOptions keeps integration tests fast.
+func tinyOptions(workloads ...string) Options {
+	o := Quick()
+	o.Scale = 0.05
+	o.Sim.Phases = 2
+	o.Sim.PhaseInstr = 200_000
+	o.Sim.TimedInstr = 20_000
+	o.Sim.WarmupInstr = 2_000
+	o.Workloads = workloads
+	return o
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		ID: "t", Title: "title",
+		Columns: []string{"a", "longcolumn"},
+		Rows:    [][]string{{"x", "1"}, {"yy", "22"}},
+		Notes:   "note",
+	}
+	out := tbl.Render()
+	for _, want := range []string{"== t: title ==", "a", "longcolumn", "yy", "paper: note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOptionsSpecs(t *testing.T) {
+	o := Quick()
+	specs, err := o.specs()
+	if err != nil || len(specs) != 8 {
+		t.Fatalf("specs = %d, %v", len(specs), err)
+	}
+	o.Workloads = []string{"BFS", "POA"}
+	specs, err = o.specs()
+	if err != nil || len(specs) != 2 {
+		t.Fatalf("filtered specs = %d, %v", len(specs), err)
+	}
+	o.Workloads = []string{"nope"}
+	if _, err := o.specs(); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestFig3Constants(t *testing.T) {
+	tbl := Fig3()
+	if tbl.ID != "fig3" || len(tbl.Rows) != 7 {
+		t.Fatalf("fig3 = %+v", tbl)
+	}
+	if tbl.Rows[5][1] != "100ns" {
+		t.Fatalf("total overhead = %s, want 100ns", tbl.Rows[5][1])
+	}
+	if tbl.Rows[6][1] != "180ns" {
+		t.Fatalf("end-to-end = %s, want 180ns", tbl.Rows[6][1])
+	}
+}
+
+func TestFig4MatchesPaper(t *testing.T) {
+	tbl := Fig4()
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("fig4 rows = %d", len(tbl.Rows))
+	}
+	three := parseNS(t, tbl.Rows[0][1])
+	four := parseNS(t, tbl.Rows[1][1])
+	if three < 300 || three > 366 {
+		t.Errorf("3-hop mean = %vns, want ~333", three)
+	}
+	if four != 200 {
+		t.Errorf("4-hop = %vns, want 200", four)
+	}
+}
+
+func parseNS(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "ns"), 64)
+	if err != nil {
+		t.Fatalf("bad ns value %q", s)
+	}
+	return v
+}
+
+func TestFig2Shape(t *testing.T) {
+	r := NewRunner(tinyOptions())
+	tbl, err := r.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(sharingBuckets) {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Measured page fractions must sum to ~100%.
+	var sum float64
+	for _, row := range tbl.Rows {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[2], "%"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += v
+	}
+	if sum < 99 || sum > 101 {
+		t.Fatalf("measured pages sum to %v%%", sum)
+	}
+}
+
+func TestRunnerCaching(t *testing.T) {
+	r := NewRunner(tinyOptions("POA"))
+	specs, _ := r.opts.specs()
+	a, err := r.baseline(specs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.baseline(specs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("cache miss on identical run")
+	}
+}
+
+func TestFig8aIntegration(t *testing.T) {
+	r := NewRunner(tinyOptions("BFS", "POA"))
+	tbl, err := r.Fig8a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 { // 2 workloads + gmean
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// BFS must speed up; POA must not.
+	bfs := parseX(t, tbl.Rows[0][1])
+	poa := parseX(t, tbl.Rows[1][1])
+	if bfs < 1.1 {
+		t.Errorf("BFS T16 speedup = %v, want > 1.1", bfs)
+	}
+	if poa < 0.95 || poa > 1.05 {
+		t.Errorf("POA speedup = %v, want ~1.0", poa)
+	}
+}
+
+func parseX(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "x"), 64)
+	if err != nil {
+		t.Fatalf("bad speedup %q", s)
+	}
+	return v
+}
+
+func TestByIDAndIDs(t *testing.T) {
+	r := NewRunner(tinyOptions("POA"))
+	if _, err := r.ByID("fig3"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ByID("bogus"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	ids := IDs()
+	if len(ids) != 18 {
+		t.Fatalf("IDs = %v", ids)
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestFig14RunsOnTinyConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	o := tinyOptions()
+	r := NewRunner(o)
+	tbl, err := r.Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("fig14 rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		for _, cell := range row[1:] {
+			if v := parseX(t, cell); v < 0.5 || v > 5 {
+				t.Errorf("implausible speedup %v in %v", v, row)
+			}
+		}
+	}
+}
+
+func TestFig9StaticOracleIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	r := NewRunner(tinyOptions("BFS"))
+	tbl, err := r.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// StarNUMA static and dynamic must both beat the baseline.
+	static := parseX(t, tbl.Rows[0][2])
+	dynamic := parseX(t, tbl.Rows[0][3])
+	if static < 1.05 || dynamic < 1.05 {
+		t.Errorf("static %v / dynamic %v, want both > 1.05", static, dynamic)
+	}
+}
+
+func TestQuickAndDefaultOptionsValid(t *testing.T) {
+	for _, o := range []Options{Quick(), Default()} {
+		if err := o.Sim.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if o.Scale <= 0 {
+			t.Fatal("bad scale")
+		}
+	}
+	if Quick().Sim.Phases >= Default().Sim.Phases {
+		t.Fatal("quick should be smaller than default")
+	}
+	_ = core.BaselineSystem() // keep import honest
+}
+
+// TestAllExperimentsTiny drives every experiment end to end at a tiny
+// scale with a two-workload subset — the cheapest proof that the whole
+// harness stays wired together. Experiments that hard-code their own
+// workloads (fig2/13/14, extdrift) ignore the subset.
+func TestAllExperimentsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	r := NewRunner(tinyOptions("BFS", "POA"))
+	tables, err := r.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != len(IDs()) {
+		t.Fatalf("All returned %d tables, want %d", len(tables), len(IDs()))
+	}
+	seen := map[string]bool{}
+	for _, tbl := range tables {
+		if tbl.ID == "" || tbl.Title == "" || len(tbl.Columns) == 0 || len(tbl.Rows) == 0 {
+			t.Errorf("malformed table %+v", tbl)
+		}
+		if seen[tbl.ID] {
+			t.Errorf("duplicate table %s", tbl.ID)
+		}
+		seen[tbl.ID] = true
+		for _, row := range tbl.Rows {
+			if len(row) > len(tbl.Columns) {
+				t.Errorf("%s: row wider than header: %v", tbl.ID, row)
+			}
+		}
+		// Every table renders in every format.
+		for _, f := range []string{"text", "csv", "md"} {
+			if _, err := tbl.Format(f); err != nil {
+				t.Errorf("%s: format %s: %v", tbl.ID, f, err)
+			}
+		}
+	}
+}
+
+func TestByIDCoversAllIDs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	r := NewRunner(tinyOptions("POA"))
+	for _, id := range []string{"fig3", "fig4"} { // cheap static ones
+		tbl, err := r.ByID(id)
+		if err != nil || tbl.ID != id {
+			t.Errorf("ByID(%s): %v", id, err)
+		}
+	}
+}

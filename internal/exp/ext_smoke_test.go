@@ -1,0 +1,25 @@
+package exp
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestExtensionsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	o := Quick()
+	o.Workloads = []string{"BFS", "TC", "Masstree", "POA"}
+	r := NewRunner(o)
+	t1, err := r.ExtReplication()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Print(t1.Render())
+	t2, err := r.Ext32Sockets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Print(t2.Render())
+}

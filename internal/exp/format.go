@@ -1,0 +1,139 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CSV renders the table as RFC-4180-style comma-separated values with a
+// header row. Cells containing commas, quotes or newlines are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvEscape(c))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// Markdown renders the table as a GitHub-flavoured Markdown table with a
+// heading and the paper note as a trailing blockquote.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		cells := make([]string, len(t.Columns))
+		for i := range cells {
+			if i < len(row) {
+				cells[i] = strings.ReplaceAll(row[i], "|", "\\|")
+			}
+		}
+		b.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "\n> paper: %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// Format renders the table in the named format: "text" (default),
+// "csv", or "md"/"markdown".
+func (t *Table) Format(format string) (string, error) {
+	switch format {
+	case "", "text":
+		return t.Render(), nil
+	case "csv":
+		return t.CSV(), nil
+	case "md", "markdown":
+		return t.Markdown(), nil
+	default:
+		return "", fmt.Errorf("exp: unknown format %q (text, csv, md)", format)
+	}
+}
+
+// BarChart renders one numeric column (cells like "1.54x", "48.0%",
+// "360ns") as horizontal ASCII bars — a terminal rendition of the
+// paper's bar figures. Rows whose cell does not parse (e.g. blank
+// summary cells) are skipped. width is the maximum bar length in
+// characters (default 40 if non-positive).
+func (t *Table) BarChart(col, width int) (string, error) {
+	if col < 0 || col >= len(t.Columns) {
+		return "", fmt.Errorf("exp: column %d out of range (%d columns)", col, len(t.Columns))
+	}
+	if width <= 0 {
+		width = 40
+	}
+	type bar struct {
+		label string
+		text  string
+		val   float64
+	}
+	var bars []bar
+	max := 0.0
+	labelW := 0
+	for _, row := range t.Rows {
+		if col >= len(row) {
+			continue
+		}
+		v, ok := parseNumeric(row[col])
+		if !ok {
+			continue
+		}
+		b := bar{label: row[0], text: row[col], val: v}
+		bars = append(bars, b)
+		if v > max {
+			max = v
+		}
+		if len(b.label) > labelW {
+			labelW = len(b.label)
+		}
+	}
+	if len(bars) == 0 {
+		return "", fmt.Errorf("exp: column %q has no numeric cells", t.Columns[col])
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s — %s ==\n", t.ID, t.Title, t.Columns[col])
+	for _, b := range bars {
+		n := 0
+		if max > 0 {
+			n = int(b.val / max * float64(width))
+		}
+		fmt.Fprintf(&sb, "%-*s %-8s %s\n", labelW, b.label, b.text, strings.Repeat("█", n))
+	}
+	return sb.String(), nil
+}
+
+// parseNumeric strips the unit suffixes used in tables and parses the
+// remainder.
+func parseNumeric(s string) (float64, bool) {
+	s = strings.TrimSpace(s)
+	for _, suffix := range []string{"x", "%", "ns"} {
+		s = strings.TrimSuffix(s, suffix)
+	}
+	if s == "" {
+		return 0, false
+	}
+	var v float64
+	if _, err := fmt.Sscanf(s, "%g", &v); err != nil {
+		return 0, false
+	}
+	return v, true
+}

@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func formatTable() *Table {
+	return &Table{
+		ID: "t1", Title: "demo",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"x,1", `q"`}, {"plain", "2"}},
+		Notes:   "note",
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := formatTable().CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != `"x,1","q"""` {
+		t.Fatalf("escaped row = %q", lines[1])
+	}
+	if lines[2] != "plain,2" {
+		t.Fatalf("plain row = %q", lines[2])
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	out := formatTable().Markdown()
+	for _, want := range []string{"### t1 — demo", "| a | b |", "|---|---|", "| plain | 2 |", "> paper: note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	// Pipes escaped.
+	tbl := formatTable()
+	tbl.Rows = [][]string{{"a|b", "c"}}
+	if !strings.Contains(tbl.Markdown(), `a\|b`) {
+		t.Error("pipe not escaped")
+	}
+}
+
+func TestMarkdownPadsShortRows(t *testing.T) {
+	tbl := formatTable()
+	tbl.Rows = [][]string{{"only"}}
+	out := tbl.Markdown()
+	if !strings.Contains(out, "| only |  |") {
+		t.Errorf("short row not padded:\n%s", out)
+	}
+}
+
+func TestFormatDispatch(t *testing.T) {
+	tbl := formatTable()
+	for _, f := range []string{"", "text", "csv", "md", "markdown"} {
+		if _, err := tbl.Format(f); err != nil {
+			t.Errorf("format %q: %v", f, err)
+		}
+	}
+	if _, err := tbl.Format("xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	tbl := &Table{
+		ID: "fig", Title: "speedups",
+		Columns: []string{"workload", "speedup"},
+		Rows: [][]string{
+			{"BFS", "2.00x"},
+			{"POA", "1.00x"},
+			{"gmean", ""}, // unparseable: skipped
+		},
+	}
+	out, err := tbl.BarChart(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 bars
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], strings.Repeat("█", 10)) {
+		t.Errorf("BFS bar not full width: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], strings.Repeat("█", 5)) {
+		t.Errorf("POA bar not half width: %q", lines[2])
+	}
+}
+
+func TestBarChartErrors(t *testing.T) {
+	tbl := &Table{Columns: []string{"a"}, Rows: [][]string{{"text"}}}
+	if _, err := tbl.BarChart(5, 10); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+	if _, err := tbl.BarChart(0, 10); err == nil {
+		t.Error("non-numeric column accepted")
+	}
+}
+
+func TestParseNumeric(t *testing.T) {
+	cases := map[string]float64{"1.54x": 1.54, "48.0%": 48, "360ns": 360, "7": 7}
+	for in, want := range cases {
+		v, ok := parseNumeric(in)
+		if !ok || v != want {
+			t.Errorf("parseNumeric(%q) = %v, %v", in, v, ok)
+		}
+	}
+	if _, ok := parseNumeric("abc"); ok {
+		t.Error("parsed garbage")
+	}
+	if _, ok := parseNumeric(""); ok {
+		t.Error("parsed empty")
+	}
+}

@@ -1,0 +1,21 @@
+package link_test
+
+import (
+	"fmt"
+
+	"starnuma/internal/link"
+	"starnuma/internal/sim"
+)
+
+// Two back-to-back cache lines on a scaled 3 GB/s NUMALink: the second
+// queues behind the first's serialization.
+func ExampleLink() {
+	l := link.New("numalink", 3, 50*sim.Nanosecond)
+	done1, q1 := l.Send(0, 72)
+	done2, q2 := l.Send(0, 72)
+	fmt.Println("first delivered:", done1, "queued:", q1)
+	fmt.Println("second delivered:", done2, "queued:", q2)
+	// Output:
+	// first delivered: 74.000ns queued: 0.000ns
+	// second delivered: 98.000ns queued: 24.000ns
+}

@@ -1,0 +1,107 @@
+// Package link models bandwidth-constrained, work-conserving links.
+//
+// Each Link represents one direction of a physical channel (UPI,
+// NUMALink, or CXL in the StarNUMA system). Messages are serialized in
+// FIFO order: a message arriving at time t begins transmission at
+// max(t, link-free time), occupies the wire for size/bandwidth, and then
+// experiences the channel's propagation latency. The difference between
+// arrival and transmission start is the queuing delay that the paper's
+// "Contention Delay" AMAT component measures (§V-A, Fig. 8b).
+package link
+
+import (
+	"fmt"
+
+	"starnuma/internal/sim"
+)
+
+// Link is a single-direction bandwidth server.
+type Link struct {
+	name       string
+	latency    sim.Time // propagation/traversal latency after serialization
+	psPerByte  float64  // inverse bandwidth; 0 means infinite bandwidth
+	nextFree   sim.Time // when the wire becomes idle
+	busy       sim.Time // cumulative transmission time (for utilisation)
+	queued     sim.Time // cumulative queuing delay
+	messages   uint64
+	bytesMoved uint64
+}
+
+// GBps expresses a bandwidth in gigabytes (1e9 bytes) per second.
+type GBps float64
+
+// New creates a link. bandwidth <= 0 means the link never queues
+// (infinite bandwidth); latency must be non-negative.
+func New(name string, bandwidth GBps, latency sim.Time) *Link {
+	if latency < 0 {
+		panic(fmt.Sprintf("link %s: negative latency %v", name, latency))
+	}
+	l := &Link{name: name, latency: latency}
+	if bandwidth > 0 {
+		// bytes/ns = bandwidth (GB/s) / 1e9 * 1e9 ... 1 GB/s = 1 byte/ns
+		// = 1e-3 bytes/ps, so ps/byte = 1000 / GBps.
+		l.psPerByte = 1000 / float64(bandwidth)
+	}
+	return l
+}
+
+// Name returns the diagnostic name of the link.
+func (l *Link) Name() string { return l.name }
+
+// Latency returns the post-serialization propagation latency.
+func (l *Link) Latency() sim.Time { return l.latency }
+
+// Send models transmitting a message of size bytes arriving at the link
+// at time now. It returns the time the message is delivered at the far
+// end and the queuing delay it suffered waiting for the wire.
+func (l *Link) Send(now sim.Time, bytes int) (delivered, queuing sim.Time) {
+	if bytes < 0 {
+		panic(fmt.Sprintf("link %s: negative message size %d", l.name, bytes))
+	}
+	start := now
+	if l.nextFree > start {
+		start = l.nextFree
+	}
+	queuing = start - now
+	serialize := sim.Time(float64(bytes)*l.psPerByte + 0.5)
+	l.nextFree = start + serialize
+	l.busy += serialize
+	l.queued += queuing
+	l.messages++
+	l.bytesMoved += uint64(bytes)
+	return l.nextFree + l.latency, queuing
+}
+
+// Stats is a snapshot of a link's lifetime counters.
+type Stats struct {
+	Name       string
+	Messages   uint64
+	Bytes      uint64
+	BusyTime   sim.Time // total wire-occupied time
+	QueuedTime sim.Time // total queuing delay across messages
+}
+
+// Stats returns the link's counters.
+func (l *Link) Stats() Stats {
+	return Stats{Name: l.name, Messages: l.messages, Bytes: l.bytesMoved,
+		BusyTime: l.busy, QueuedTime: l.queued}
+}
+
+// Utilization returns the fraction of the interval [0, horizon] the wire
+// spent transmitting. Returns 0 for a non-positive horizon.
+func (l *Link) Utilization(horizon sim.Time) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return float64(l.busy) / float64(horizon)
+}
+
+// Reset clears counters and the wire-busy horizon. Used between timing
+// windows so warm-up traffic does not pollute measured statistics.
+func (l *Link) Reset() {
+	l.nextFree = 0
+	l.busy = 0
+	l.queued = 0
+	l.messages = 0
+	l.bytesMoved = 0
+}

@@ -1,0 +1,204 @@
+package link
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"starnuma/internal/sim"
+)
+
+func TestUnloadedSend(t *testing.T) {
+	// 1 GB/s = 1 byte/ns, so 64 bytes serialize in 64ns; +25ns latency.
+	l := New("upi", 1, 25*sim.Nanosecond)
+	done, q := l.Send(0, 64)
+	if q != 0 {
+		t.Fatalf("queuing = %v on idle link", q)
+	}
+	if done != 89*sim.Nanosecond {
+		t.Fatalf("done = %v, want 89ns", done)
+	}
+}
+
+func TestInfiniteBandwidth(t *testing.T) {
+	l := New("inf", 0, 10*sim.Nanosecond)
+	for i := 0; i < 100; i++ {
+		done, q := l.Send(0, 1<<20)
+		if q != 0 || done != 10*sim.Nanosecond {
+			t.Fatalf("infinite-bw link queued: done=%v q=%v", done, q)
+		}
+	}
+}
+
+func TestQueuingDelay(t *testing.T) {
+	l := New("upi", 1, 0) // 64B takes 64ns on the wire
+	done1, q1 := l.Send(0, 64)
+	if q1 != 0 || done1 != 64*sim.Nanosecond {
+		t.Fatalf("first: done=%v q=%v", done1, q1)
+	}
+	// Second message arrives while the first still transmits.
+	done2, q2 := l.Send(10*sim.Nanosecond, 64)
+	if q2 != 54*sim.Nanosecond {
+		t.Fatalf("second queuing = %v, want 54ns", q2)
+	}
+	if done2 != 128*sim.Nanosecond {
+		t.Fatalf("second done = %v, want 128ns", done2)
+	}
+	// Third message arrives after the wire is free again: no queuing.
+	done3, q3 := l.Send(200*sim.Nanosecond, 64)
+	if q3 != 0 || done3 != 264*sim.Nanosecond {
+		t.Fatalf("third: done=%v q=%v", done3, q3)
+	}
+}
+
+func TestStatsAndUtilization(t *testing.T) {
+	l := New("n", 2, 5*sim.Nanosecond) // 2 GB/s: 64B = 32ns
+	l.Send(0, 64)
+	l.Send(0, 64)
+	s := l.Stats()
+	if s.Messages != 2 || s.Bytes != 128 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.BusyTime != 64*sim.Nanosecond {
+		t.Fatalf("busy = %v", s.BusyTime)
+	}
+	if s.QueuedTime != 32*sim.Nanosecond {
+		t.Fatalf("queued = %v", s.QueuedTime)
+	}
+	if u := l.Utilization(128 * sim.Nanosecond); u != 0.5 {
+		t.Fatalf("utilization = %v", u)
+	}
+	if u := l.Utilization(0); u != 0 {
+		t.Fatalf("utilization(0) = %v", u)
+	}
+	l.Reset()
+	if s := l.Stats(); s.Messages != 0 || s.BusyTime != 0 {
+		t.Fatalf("after reset: %+v", s)
+	}
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	l := New("n", 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l.Send(0, -1)
+}
+
+func TestNegativeLatencyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New("n", 1, -1)
+}
+
+// Property: deliveries are FIFO and the wire never transmits two messages
+// at once — total busy time equals the sum of serialization times, and
+// each message's delivery is at least arrival + its own serialization +
+// latency.
+func TestLinkConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := New("p", 3, 7*sim.Nanosecond)
+		now := sim.Time(0)
+		var lastDone sim.Time
+		for i := 0; i < 100; i++ {
+			now += sim.Time(rng.Int63n(30 * int64(sim.Nanosecond)))
+			bytes := 8 + rng.Intn(120)
+			done, q := l.Send(now, bytes)
+			if q < 0 || done < now+7*sim.Nanosecond {
+				return false
+			}
+			if done < lastDone { // FIFO: deliveries in order
+				return false
+			}
+			lastDone = done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: at saturation, throughput approaches the configured
+// bandwidth: N back-to-back messages of size S finish no earlier than
+// N*S/BW.
+func TestLinkThroughputBound(t *testing.T) {
+	l := New("sat", 3, 0) // 3 GB/s
+	const n, size = 1000, 72
+	var done sim.Time
+	for i := 0; i < n; i++ {
+		done, _ = l.Send(0, size)
+	}
+	// 3 GB/s = 3 bytes/ns -> 72000 bytes need >= 24000ns.
+	min := sim.Time(n * size / 3 * int64(sim.Nanosecond))
+	if done < min {
+		t.Fatalf("finished in %v, faster than line rate %v", done, min)
+	}
+	if done > min+min/100 {
+		t.Fatalf("finished in %v, want within 1%% of %v", done, min)
+	}
+}
+
+func BenchmarkLinkSend(b *testing.B) {
+	l := New("b", 3, 25*sim.Nanosecond)
+	for i := 0; i < b.N; i++ {
+		l.Send(sim.Time(i)*sim.Nanosecond, 72)
+	}
+}
+
+// Queueing-theory validation: for Poisson arrivals and deterministic
+// service (M/D/1), mean waiting time is ρ·S / (2(1-ρ)). The link model
+// must reproduce this within sampling error — it is the foundation the
+// "Contention Delay" AMAT component rests on.
+func TestMD1QueueingDelay(t *testing.T) {
+	const (
+		serviceNS = 24.0 // 72B at 3 GB/s
+		rho       = 0.6
+	)
+	l := New("md1", 3, 0)
+	rng := rand.New(rand.NewSource(7))
+	meanInterarrival := serviceNS / rho
+
+	var now float64
+	var totalQueue sim.Time
+	const n = 200000
+	for i := 0; i < n; i++ {
+		now += rng.ExpFloat64() * meanInterarrival
+		_, q := l.Send(sim.FromNanos(now), 72)
+		totalQueue += q
+	}
+	measured := totalQueue.Nanos() / n
+	expected := rho * serviceNS / (2 * (1 - rho)) // 18ns at ρ=0.6
+	if measured < expected*0.9 || measured > expected*1.1 {
+		t.Fatalf("M/D/1 wait = %.2fns, theory %.2fns", measured, expected)
+	}
+}
+
+// At high utilisation the same law must hold (queuing grows nonlinearly).
+func TestMD1HighUtilisation(t *testing.T) {
+	const (
+		serviceNS = 24.0
+		rho       = 0.9
+	)
+	l := New("md1hi", 3, 0)
+	rng := rand.New(rand.NewSource(11))
+	var now float64
+	var totalQueue sim.Time
+	const n = 400000
+	for i := 0; i < n; i++ {
+		now += rng.ExpFloat64() * serviceNS / rho
+		_, q := l.Send(sim.FromNanos(now), 72)
+		totalQueue += q
+	}
+	measured := totalQueue.Nanos() / n
+	expected := rho * serviceNS / (2 * (1 - rho)) // 108ns at ρ=0.9
+	if measured < expected*0.8 || measured > expected*1.2 {
+		t.Fatalf("M/D/1 wait at ρ=0.9 = %.2fns, theory %.2fns", measured, expected)
+	}
+}

@@ -1,0 +1,100 @@
+package memdev
+
+import (
+	"starnuma/internal/sim"
+)
+
+// Bank-level DRAM modelling. The default controller treats a channel as
+// a fixed-latency bandwidth server (DESIGN.md §3), which is what the
+// calibrated evaluation uses. Setting Config.BanksPerChannel > 0 enables
+// an open-page bank model instead: each bank keeps its last-activated
+// row open, row-buffer hits pay only CAS, conflicts pay
+// precharge+activate+CAS, and requests serialise per bank. This is an
+// opt-in fidelity upgrade (and an ablation: how much do row-buffer
+// dynamics matter to the StarNUMA conclusions?).
+
+const (
+	// rowBytes is the DRAM row (page) size per bank.
+	rowBytes = 8192
+	// bankShift positions the bank index above the row-column bits.
+	bankShift = 13 // log2(rowBytes)
+)
+
+// bankState tracks one bank's open row and busy horizon.
+type bankState struct {
+	openRow  int64 // -1 = closed
+	busyTill sim.Time
+}
+
+// BankStats counts row-buffer outcomes.
+type BankStats struct {
+	RowHits   uint64
+	RowMisses uint64
+}
+
+// bankedChannel is one DRAM channel with open-page banks sharing a data
+// bus.
+type bankedChannel struct {
+	banks     []bankState
+	busTill   sim.Time // shared data bus horizon
+	psPerByte float64
+	hitLat    sim.Time
+	missLat   sim.Time
+	stats     BankStats
+}
+
+func newBankedChannel(banks int, bw float64, hit, miss sim.Time) *bankedChannel {
+	ch := &bankedChannel{
+		banks:   make([]bankState, banks),
+		hitLat:  hit,
+		missLat: miss,
+	}
+	if bw > 0 {
+		ch.psPerByte = 1000 / bw
+	}
+	for i := range ch.banks {
+		ch.banks[i].openRow = -1
+	}
+	return ch
+}
+
+// access services one request, returning completion time and queuing
+// delay (time spent waiting for bank and bus).
+func (ch *bankedChannel) access(now sim.Time, addr uint64, bytes int) (done, queuing sim.Time) {
+	bankIdx := int(addr>>bankShift) % len(ch.banks)
+	row := int64(addr >> bankShift / uint64(len(ch.banks)))
+	bank := &ch.banks[bankIdx]
+
+	start := now
+	if bank.busyTill > start {
+		start = bank.busyTill
+	}
+	service := ch.missLat
+	if bank.openRow == row {
+		service = ch.hitLat
+		ch.stats.RowHits++
+	} else {
+		ch.stats.RowMisses++
+		bank.openRow = row
+	}
+	ready := start + service
+	bank.busyTill = ready
+
+	// Data transfer on the shared bus.
+	busStart := ready
+	if ch.busTill > busStart {
+		busStart = ch.busTill
+	}
+	xfer := sim.Time(float64(bytes)*ch.psPerByte + 0.5)
+	ch.busTill = busStart + xfer
+	done = ch.busTill
+	queuing = (start - now) + (busStart - ready)
+	return done, queuing
+}
+
+// DefaultBankLatencies returns typical DDR5 open-page timings: ~18ns CAS
+// for a row hit, ~48ns precharge+activate+CAS for a conflict — chosen so
+// a 50/50 hit/miss mix lands near the simple model's 50ns x ~0.7.
+func DefaultBankLatencies() (hit, miss sim.Time) {
+	return 18 * sim.Nanosecond, 48 * sim.Nanosecond
+}

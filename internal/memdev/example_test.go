@@ -1,0 +1,23 @@
+package memdev_test
+
+import (
+	"fmt"
+
+	"starnuma/internal/memdev"
+)
+
+// The scaled socket memory of Table II: one DDR5-4800 channel behind a
+// 30ns on-chip path, giving the paper's 80ns unloaded local access.
+func ExampleController() {
+	c := memdev.NewController("socket0", memdev.DefaultSocketConfig())
+	fmt.Println("unloaded:", c.UnloadedLatency())
+
+	_, queuing := c.Access(0, 0x1000, 64)
+	fmt.Println("first access queued:", queuing)
+	_, queuing = c.Access(0, 0x2000, 64) // same instant: queues behind the first
+	fmt.Println("simultaneous access queued:", queuing > 0)
+	// Output:
+	// unloaded: 80.000ns
+	// first access queued: 0.000ns
+	// simultaneous access queued: true
+}

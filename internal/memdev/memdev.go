@@ -1,0 +1,146 @@
+// Package memdev models DRAM memory devices: per-node memory controllers
+// with one or more DDR channels.
+//
+// A memory access at a node costs a fixed on-chip portion (LLC-miss
+// handling, arbitration, directory lookup) plus the DRAM access latency,
+// and occupies one channel for size/bandwidth, which is where local and
+// pool memory bandwidth contention arises. With the default constants an
+// unloaded local access totals the paper's 80ns (§II-A): 30ns on-chip +
+// 50ns DRAM.
+package memdev
+
+import (
+	"fmt"
+
+	"starnuma/internal/link"
+	"starnuma/internal/sim"
+)
+
+// Config describes one node's memory subsystem.
+type Config struct {
+	Channels    int       // number of DDR channels
+	ChannelBW   link.GBps // per-channel bandwidth
+	OnChip      sim.Time  // on-chip portion charged per access
+	DRAMLatency sim.Time  // DRAM array access latency (simple model)
+
+	// BanksPerChannel > 0 switches to the open-page bank model (see
+	// banks.go): DRAMLatency is ignored and RowHit/RowMissLatency apply.
+	BanksPerChannel int
+	RowHitLatency   sim.Time
+	RowMissLatency  sim.Time
+}
+
+// DefaultSocketConfig matches the paper's scaled simulation socket
+// (Table II): one DDR5 channel.
+func DefaultSocketConfig() Config {
+	return Config{Channels: 1, ChannelBW: 38.4, OnChip: 30 * sim.Nanosecond, DRAMLatency: 50 * sim.Nanosecond}
+}
+
+// DefaultPoolConfig matches the paper's scaled pool (Table II): two DDR5
+// channels.
+func DefaultPoolConfig() Config {
+	return Config{Channels: 2, ChannelBW: 38.4, OnChip: 30 * sim.Nanosecond, DRAMLatency: 50 * sim.Nanosecond}
+}
+
+// Controller is one node's memory controller. It is not safe for
+// concurrent use; the simulation is single-threaded.
+type Controller struct {
+	cfg      Config
+	channels []*link.Link
+	banked   []*bankedChannel // non-nil when BanksPerChannel > 0
+}
+
+// NewController builds a controller from cfg. It panics on nonsensical
+// configuration (these are programmer-supplied constants).
+func NewController(name string, cfg Config) *Controller {
+	if cfg.Channels <= 0 {
+		panic(fmt.Sprintf("memdev %s: %d channels", name, cfg.Channels))
+	}
+	if cfg.OnChip < 0 || cfg.DRAMLatency < 0 {
+		panic(fmt.Sprintf("memdev %s: negative latency", name))
+	}
+	c := &Controller{cfg: cfg}
+	if cfg.BanksPerChannel > 0 {
+		if cfg.RowHitLatency <= 0 || cfg.RowMissLatency < cfg.RowHitLatency {
+			panic(fmt.Sprintf("memdev %s: invalid bank latencies %v/%v",
+				name, cfg.RowHitLatency, cfg.RowMissLatency))
+		}
+		for i := 0; i < cfg.Channels; i++ {
+			c.banked = append(c.banked, newBankedChannel(
+				cfg.BanksPerChannel, float64(cfg.ChannelBW), cfg.RowHitLatency, cfg.RowMissLatency))
+		}
+		return c
+	}
+	for i := 0; i < cfg.Channels; i++ {
+		c.channels = append(c.channels,
+			link.New(fmt.Sprintf("%s.ch%d", name, i), cfg.ChannelBW, cfg.DRAMLatency))
+	}
+	return c
+}
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// UnloadedLatency is the zero-contention service time of one access
+// (a row-buffer miss, for the banked model).
+func (c *Controller) UnloadedLatency() sim.Time {
+	if c.cfg.BanksPerChannel > 0 {
+		return c.cfg.OnChip + c.cfg.RowMissLatency
+	}
+	return c.cfg.OnChip + c.cfg.DRAMLatency
+}
+
+// Access services a memory access of size bytes to addr arriving at the
+// controller at time now. It returns when the data is available and the
+// queuing delay suffered at the channel.
+func (c *Controller) Access(now sim.Time, addr uint64, bytes int) (done, queuing sim.Time) {
+	i := c.channelFor(addr)
+	if c.banked != nil {
+		return c.banked[i].access(now+c.cfg.OnChip, addr, bytes)
+	}
+	done, queuing = c.channels[i].Send(now+c.cfg.OnChip, bytes)
+	return done, queuing
+}
+
+// channelFor interleaves 64B blocks across channels, as real controllers
+// do, so streaming access spreads evenly.
+func (c *Controller) channelFor(addr uint64) int {
+	return int((addr >> 6) % uint64(c.cfg.Channels))
+}
+
+// Stats returns per-channel counters (simple model only; empty for the
+// banked model — see BankStats).
+func (c *Controller) Stats() []link.Stats {
+	out := make([]link.Stats, len(c.channels))
+	for i, ch := range c.channels {
+		out[i] = ch.Stats()
+	}
+	return out
+}
+
+// BankStats returns per-channel row-buffer statistics; nil for the
+// simple model.
+func (c *Controller) BankStats() []BankStats {
+	if c.banked == nil {
+		return nil
+	}
+	out := make([]BankStats, len(c.banked))
+	for i, ch := range c.banked {
+		out[i] = ch.stats
+	}
+	return out
+}
+
+// Reset clears all channel counters and busy horizons.
+func (c *Controller) Reset() {
+	for _, ch := range c.channels {
+		ch.Reset()
+	}
+	for _, ch := range c.banked {
+		ch.busTill = 0
+		ch.stats = BankStats{}
+		for i := range ch.banks {
+			ch.banks[i] = bankState{openRow: -1}
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package memdev
+
+import (
+	"testing"
+	"testing/quick"
+
+	"starnuma/internal/sim"
+)
+
+func TestUnloadedLocalAccessIs80ns(t *testing.T) {
+	c := NewController("s0", DefaultSocketConfig())
+	if got := c.UnloadedLatency(); got != 80*sim.Nanosecond {
+		t.Fatalf("unloaded = %v, want 80ns (paper §II-A)", got)
+	}
+	done, q := c.Access(0, 0x1000, 64)
+	if q != 0 {
+		t.Fatalf("queuing on idle controller = %v", q)
+	}
+	// 30ns on-chip + 64B/38.4GBps serialization (1.67ns) + 50ns DRAM.
+	want := 30*sim.Nanosecond + sim.FromNanos(64.0/38.4) + 50*sim.Nanosecond
+	if done != want {
+		t.Fatalf("done = %v, want %v", done, want)
+	}
+}
+
+func TestChannelInterleaving(t *testing.T) {
+	c := NewController("pool", DefaultPoolConfig())
+	// Blocks 0 and 1 must land on different channels.
+	c.Access(0, 0, 64)
+	c.Access(0, 64, 64)
+	st := c.Stats()
+	if len(st) != 2 {
+		t.Fatalf("channels = %d", len(st))
+	}
+	if st[0].Messages != 1 || st[1].Messages != 1 {
+		t.Fatalf("interleaving failed: %d/%d", st[0].Messages, st[1].Messages)
+	}
+}
+
+func TestChannelQueuing(t *testing.T) {
+	c := NewController("s0", DefaultSocketConfig())
+	c.Access(0, 0, 64)
+	_, q := c.Access(0, 4096, 64) // same single channel, same arrival
+	if q <= 0 {
+		t.Fatalf("second access saw no queuing: %v", q)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := NewController("s0", DefaultSocketConfig())
+	c.Access(0, 0, 64)
+	c.Reset()
+	for _, s := range c.Stats() {
+		if s.Messages != 0 {
+			t.Fatalf("reset left stats %+v", s)
+		}
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{Channels: 0, ChannelBW: 1},
+		{Channels: 1, OnChip: -1},
+		{Channels: 1, DRAMLatency: -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			NewController("bad", cfg)
+		}()
+	}
+}
+
+// Property: accesses never complete before on-chip + DRAM latency, and
+// channel selection is always in range.
+func TestAccessLowerBoundProperty(t *testing.T) {
+	c := NewController("p", DefaultPoolConfig())
+	min := c.UnloadedLatency()
+	f := func(addr uint64, gap uint16) bool {
+		now := sim.Time(gap) * sim.Nanosecond
+		done, q := c.Access(now, addr, 64)
+		return done >= now+min && q >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkControllerAccess(b *testing.B) {
+	c := NewController("b", DefaultSocketConfig())
+	for i := 0; i < b.N; i++ {
+		c.Access(sim.Time(i)*sim.Nanosecond, uint64(i)<<6, 64)
+	}
+}
+
+func bankedConfig() Config {
+	hit, miss := DefaultBankLatencies()
+	return Config{
+		Channels: 1, ChannelBW: 38.4, OnChip: 30 * sim.Nanosecond,
+		BanksPerChannel: 8, RowHitLatency: hit, RowMissLatency: miss,
+	}
+}
+
+func TestBankedRowBufferHit(t *testing.T) {
+	c := NewController("b", bankedConfig())
+	// First access to a row: miss. Second to the same row: hit, cheaper.
+	done1, _ := c.Access(0, 0x1000, 64)
+	done2, _ := c.Access(done1, 0x1000, 64)
+	miss := done1
+	hit := done2 - done1
+	if hit >= miss {
+		t.Fatalf("row hit (%v) not cheaper than miss (%v)", hit, miss)
+	}
+	st := c.BankStats()
+	if st[0].RowHits != 1 || st[0].RowMisses != 1 {
+		t.Fatalf("bank stats = %+v", st)
+	}
+}
+
+func TestBankedRowConflict(t *testing.T) {
+	c := NewController("b", bankedConfig())
+	c.Access(0, 0, 64)
+	// Same bank, different row (stride = rowBytes * banks).
+	_, q := c.Access(0, uint64(rowBytes*8), 64)
+	if q == 0 {
+		t.Fatal("bank conflict saw no queuing")
+	}
+	st := c.BankStats()
+	if st[0].RowMisses != 2 {
+		t.Fatalf("bank stats = %+v", st)
+	}
+}
+
+func TestBankedUnloadedLatency(t *testing.T) {
+	c := NewController("b", bankedConfig())
+	want := 30*sim.Nanosecond + 48*sim.Nanosecond
+	if got := c.UnloadedLatency(); got != want {
+		t.Fatalf("unloaded = %v, want %v", got, want)
+	}
+}
+
+func TestBankedParallelBanks(t *testing.T) {
+	c := NewController("b", bankedConfig())
+	// Two accesses to different banks at the same instant overlap their
+	// array access; only the bus serialises.
+	done1, _ := c.Access(0, 0, 64)
+	done2, q2 := c.Access(0, uint64(rowBytes), 64) // next bank
+	if done2 > done1+10*sim.Nanosecond {
+		t.Fatalf("bank-parallel access too slow: %v vs %v", done2, done1)
+	}
+	_ = q2
+}
+
+func TestBankedReset(t *testing.T) {
+	c := NewController("b", bankedConfig())
+	c.Access(0, 0, 64)
+	c.Reset()
+	if st := c.BankStats(); st[0].RowHits != 0 || st[0].RowMisses != 0 {
+		t.Fatalf("reset kept stats: %+v", st)
+	}
+	// Open rows closed: next access is a miss again.
+	c.Access(0, 0, 64)
+	if st := c.BankStats(); st[0].RowMisses != 1 {
+		t.Fatalf("row survived reset: %+v", st)
+	}
+}
+
+func TestBankedInvalidLatenciesPanic(t *testing.T) {
+	cfg := bankedConfig()
+	cfg.RowMissLatency = cfg.RowHitLatency / 2
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewController("bad", cfg)
+}
+
+func TestSimpleModelHasNoBankStats(t *testing.T) {
+	c := NewController("s", DefaultSocketConfig())
+	if c.BankStats() != nil {
+		t.Fatal("simple model returned bank stats")
+	}
+}

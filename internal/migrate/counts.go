@@ -1,0 +1,110 @@
+package migrate
+
+import "fmt"
+
+// PageCounts is exact per-page, per-socket access knowledge. The paper
+// grants the *baseline* this information at zero cost to strengthen the
+// comparison (§IV-C: "we favor the baseline by assuming zero-cost
+// per-socket knowledge of all accesses to every 4KB page"). It also
+// feeds the oracular static placement study (§V-B).
+type PageCounts struct {
+	sockets int
+	counts  []uint32 // page-major: counts[page*sockets+socket]
+	writes  []uint32 // per-page store counts (replication study, §V-F)
+}
+
+// NewPageCounts allocates counters for pages × sockets.
+func NewPageCounts(pages, sockets int) *PageCounts {
+	if pages <= 0 || sockets <= 0 {
+		panic(fmt.Sprintf("migrate: invalid PageCounts %dx%d", pages, sockets))
+	}
+	return &PageCounts{sockets: sockets,
+		counts: make([]uint32, pages*sockets),
+		writes: make([]uint32, pages)}
+}
+
+// Pages returns the page count.
+func (c *PageCounts) Pages() int { return len(c.counts) / c.sockets }
+
+// Record notes one access by socket to page.
+func (c *PageCounts) Record(socket int, page uint32) {
+	c.counts[int(page)*c.sockets+socket]++
+}
+
+// RecordWrite notes that an access to page was a store.
+func (c *PageCounts) RecordWrite(page uint32) {
+	c.writes[page]++
+}
+
+// WriteFrac returns the fraction of the page's accesses that were
+// stores (0 for untouched pages).
+func (c *PageCounts) WriteFrac(page uint32) float64 {
+	total := c.Total(page)
+	if total == 0 {
+		return 0
+	}
+	return float64(c.writes[page]) / float64(total)
+}
+
+// Count returns socket's access count on page.
+func (c *PageCounts) Count(page uint32, socket int) uint32 {
+	return c.counts[int(page)*c.sockets+socket]
+}
+
+// Total returns the page's access count across sockets.
+func (c *PageCounts) Total(page uint32) uint64 {
+	var t uint64
+	row := c.counts[int(page)*c.sockets : int(page+1)*c.sockets]
+	for _, v := range row {
+		t += uint64(v)
+	}
+	return t
+}
+
+// Sharers returns how many sockets accessed the page.
+func (c *PageCounts) Sharers(page uint32) int {
+	n := 0
+	row := c.counts[int(page)*c.sockets : int(page+1)*c.sockets]
+	for _, v := range row {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Argmax returns the socket with the most accesses to page and its
+// count. Ties resolve to the lowest socket.
+func (c *PageCounts) Argmax(page uint32) (socket int, count uint32) {
+	row := c.counts[int(page)*c.sockets : int(page+1)*c.sockets]
+	for s, v := range row {
+		if v > count {
+			socket, count = s, v
+		}
+	}
+	return socket, count
+}
+
+// Reset zeroes all counters (phase boundary).
+func (c *PageCounts) Reset() {
+	for i := range c.counts {
+		c.counts[i] = 0
+	}
+	for i := range c.writes {
+		c.writes[i] = 0
+	}
+}
+
+// AddInto accumulates this phase's counts into dst (whole-run totals for
+// the static oracle).
+func (c *PageCounts) AddInto(dst *PageCounts) {
+	if len(dst.counts) != len(c.counts) {
+		panic("migrate: PageCounts shape mismatch")
+	}
+	for i, v := range c.counts {
+		dst.counts[i] += v
+	}
+	for i, v := range c.writes {
+		dst.writes[i] += v
+	}
+}

@@ -1,0 +1,39 @@
+package migrate_test
+
+import (
+	"fmt"
+
+	"starnuma/internal/migrate"
+	"starnuma/internal/topology"
+	"starnuma/internal/tracker"
+)
+
+// Algorithm 1 in miniature: a region touched by all 16 sockets crosses
+// the HI threshold and is migrated to the memory pool.
+func ExampleStarNUMA() {
+	tbl := tracker.NewTable(tracker.T16, 256, 32)
+	for s := 0; s < 16; s++ {
+		for i := 0; i < 10; i++ {
+			tbl.Record(s, uint32(i)) // region 0, hot and fully shared
+		}
+	}
+	st := &migrate.State{
+		PageHome:          make([]topology.NodeID, 256), // all on socket 0
+		Tracker:           tbl,
+		Sockets:           16,
+		HasPool:           true,
+		PoolNode:          16,
+		PoolCapacityPages: 64,
+	}
+	cfg := migrate.DefaultConfig()
+	cfg.HiStart = 100
+	policy := migrate.NewStarNUMA(cfg)
+	moves := policy.Decide(0, st)
+	fmt.Println("pages migrated:", len(moves))
+	fmt.Println("destination:", moves[0].To)
+	fmt.Printf("pool fraction: %.0f%%\n", 100*policy.Stats().PoolFraction())
+	// Output:
+	// pages migrated: 32
+	// destination: 16
+	// pool fraction: 100%
+}

@@ -1,0 +1,96 @@
+package migrate
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ReplicationConfig controls the page replication study (§V-F): an
+// alternative to pooling in which widely-shared pages are replicated
+// into every sharer's local memory. Reads hit the local replica; writes
+// must keep replicas coherent in software, which the paper argues is
+// prohibitive for read-write pages.
+type ReplicationConfig struct {
+	Enable bool
+	// MinSharers: only pages this widely shared are replication
+	// candidates (mirrors Algorithm 1's pool threshold).
+	MinSharers int
+	// MaxWriteFrac: pages writing more than this are excluded — software
+	// replica coherence on write-hot pages is the study's point of
+	// failure.
+	MaxWriteFrac float64
+	// CapacityFrac bounds the replicated footprint fraction, modelling
+	// the memory-capacity pressure replication causes (each replica
+	// consumes a full copy in every sharer socket).
+	CapacityFrac float64
+	// WritePenaltyCycles is the software coherence cost charged to every
+	// store that hits a replicated page (invalidating replicas via
+	// interprocessor interrupts and kernel handlers).
+	WritePenaltyCycles int
+}
+
+// DefaultReplicationConfig mirrors the paper's framing: replicate
+// read-mostly pages shared by 8+ sockets, capped at 25% of the
+// footprint, with a multi-microsecond software penalty per store.
+func DefaultReplicationConfig() ReplicationConfig {
+	return ReplicationConfig{
+		MinSharers:         8,
+		MaxWriteFrac:       0.05,
+		CapacityFrac:       0.25,
+		WritePenaltyCycles: 5000,
+	}
+}
+
+// Validate reports configuration errors.
+func (c ReplicationConfig) Validate() error {
+	if !c.Enable {
+		return nil
+	}
+	if c.MinSharers < 1 {
+		return fmt.Errorf("migrate: replication MinSharers %d", c.MinSharers)
+	}
+	if c.MaxWriteFrac < 0 || c.MaxWriteFrac > 1 {
+		return fmt.Errorf("migrate: replication MaxWriteFrac %v", c.MaxWriteFrac)
+	}
+	if c.CapacityFrac <= 0 || c.CapacityFrac > 1 {
+		return fmt.Errorf("migrate: replication CapacityFrac %v", c.CapacityFrac)
+	}
+	if c.WritePenaltyCycles < 0 {
+		return fmt.Errorf("migrate: replication WritePenaltyCycles %d", c.WritePenaltyCycles)
+	}
+	return nil
+}
+
+// ReplicationSet selects the pages to replicate from whole-run access
+// knowledge: the hottest pages that are widely shared and read-mostly,
+// up to the capacity budget. Like the static oracle, the study is
+// deliberately idealized — it measures replication's best case.
+func ReplicationSet(total *PageCounts, cfg ReplicationConfig) []bool {
+	pages := total.Pages()
+	out := make([]bool, pages)
+	if !cfg.Enable {
+		return out
+	}
+	type cand struct {
+		pg  uint32
+		tot uint64
+	}
+	var cands []cand
+	for pg := 0; pg < pages; pg++ {
+		p := uint32(pg)
+		if total.Sharers(p) >= cfg.MinSharers && total.WriteFrac(p) <= cfg.MaxWriteFrac && total.Total(p) > 0 {
+			cands = append(cands, cand{p, total.Total(p)})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].tot != cands[j].tot {
+			return cands[i].tot > cands[j].tot
+		}
+		return cands[i].pg < cands[j].pg
+	})
+	budget := int(cfg.CapacityFrac * float64(pages))
+	for i := 0; i < len(cands) && i < budget; i++ {
+		out[cands[i].pg] = true
+	}
+	return out
+}

@@ -1,0 +1,17 @@
+package pool_test
+
+import (
+	"fmt"
+
+	"starnuma/internal/pool"
+)
+
+// The Fig. 3 latency budget and the capacity rule of §IV-D.
+func ExampleConfig() {
+	cfg := pool.DefaultConfig()
+	fmt.Println("interconnect overhead:", cfg.Latency.RoundTrip())
+	fmt.Println("capacity for a 32768-page footprint:", cfg.CapacityPages(32768), "pages")
+	// Output:
+	// interconnect overhead: 100.000ns
+	// capacity for a 32768-page footprint: 6553 pages
+}

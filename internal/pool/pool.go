@@ -1,0 +1,112 @@
+// Package pool describes StarNUMA's CXL memory pool device: a type-3
+// multi-headed device (MHD) with one x8 CXL port per socket (§III-A/B).
+//
+// The package owns the Fig. 3 latency budget — the per-stage breakdown
+// of a pool access's interconnect overhead — and the capacity policy
+// (the paper expresses pool capacity as a fraction of each workload's
+// footprint, §IV-D). The timing-level behaviour itself is composed from
+// topology (the CXL star), link (per-socket bandwidth) and memdev (the
+// MHD's DDR channels).
+package pool
+
+import (
+	"fmt"
+
+	"starnuma/internal/link"
+	"starnuma/internal/sim"
+)
+
+// LatencyBreakdown is Fig. 3's round-trip budget for one pool access's
+// interconnect overhead (excluding on-MHD DRAM access time).
+type LatencyBreakdown struct {
+	ProcessorPort sim.Time // CPU-side CXL port, round trip
+	MHDPort       sim.Time // device-side CXL port, round trip
+	Retimer       sim.Time // one retimer between host and MHD, round trip
+	Flight        sim.Time // wire flight time, both directions
+	MHDInternal   sim.Time // on-MHD network, arbitration, coherence directory
+	// Switch is the optional CXL switch for >16-socket scaling (§III-B);
+	// zero in the default 16-socket design.
+	Switch sim.Time
+}
+
+// DefaultLatency returns Fig. 3's values: 25+25+20+10+20 = 100ns round
+// trip, for a 180ns end-to-end unloaded pool access.
+func DefaultLatency() LatencyBreakdown {
+	return LatencyBreakdown{
+		ProcessorPort: 25 * sim.Nanosecond,
+		MHDPort:       25 * sim.Nanosecond,
+		Retimer:       20 * sim.Nanosecond,
+		Flight:        10 * sim.Nanosecond,
+		MHDInternal:   20 * sim.Nanosecond,
+	}
+}
+
+// SwitchedLatency returns the Fig. 10 sensitivity point: an intermediate
+// CXL switch adds ~90ns round trip, for a 190ns penalty and a 270ns
+// end-to-end pool access (§V-C).
+func SwitchedLatency() LatencyBreakdown {
+	l := DefaultLatency()
+	l.Switch = 90 * sim.Nanosecond
+	return l
+}
+
+// RoundTrip sums the budget.
+func (l LatencyBreakdown) RoundTrip() sim.Time {
+	return l.ProcessorPort + l.MHDPort + l.Retimer + l.Flight + l.MHDInternal + l.Switch
+}
+
+// OneWay halves the round trip; it is what the topology's CXL channels
+// carry per direction.
+func (l LatencyBreakdown) OneWay() sim.Time { return l.RoundTrip() / 2 }
+
+// Config describes the pool device.
+type Config struct {
+	Latency LatencyBreakdown
+	// LinkBW is the effective per-direction bandwidth of each socket's
+	// CXL link (Table II scaled: 6 GB/s; Half-BW study: 3 GB/s).
+	LinkBW link.GBps
+	// Channels and ChannelBW size the MHD's DDR subsystem (Table II
+	// scaled: 2 channels).
+	Channels int
+	// CapacityFraction bounds pool-resident data as a fraction of the
+	// workload footprint: 20% (a chassis' worth, 1/5) by default, 1/17
+	// (a socket's worth) in Fig. 12.
+	CapacityFraction float64
+}
+
+// DefaultConfig returns the paper's scaled pool (Table II).
+func DefaultConfig() Config {
+	return Config{
+		Latency:          DefaultLatency(),
+		LinkBW:           6,
+		Channels:         2,
+		CapacityFraction: 0.20,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.LinkBW < 0 {
+		return fmt.Errorf("pool: negative link bandwidth")
+	}
+	if c.Channels <= 0 {
+		return fmt.Errorf("pool: %d channels", c.Channels)
+	}
+	if c.CapacityFraction <= 0 || c.CapacityFraction > 1 {
+		return fmt.Errorf("pool: capacity fraction %v out of (0,1]", c.CapacityFraction)
+	}
+	if c.Latency.RoundTrip() <= 0 {
+		return fmt.Errorf("pool: non-positive latency budget")
+	}
+	return nil
+}
+
+// CapacityPages converts the capacity fraction into a page budget for a
+// workload footprint.
+func (c Config) CapacityPages(footprintPages int) int {
+	n := int(c.CapacityFraction * float64(footprintPages))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

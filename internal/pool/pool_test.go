@@ -1,0 +1,69 @@
+package pool
+
+import (
+	"testing"
+
+	"starnuma/internal/sim"
+)
+
+func TestFig3Budget(t *testing.T) {
+	l := DefaultLatency()
+	if got := l.RoundTrip(); got != 100*sim.Nanosecond {
+		t.Fatalf("round trip = %v, want 100ns (Fig. 3)", got)
+	}
+	if got := l.OneWay(); got != 50*sim.Nanosecond {
+		t.Fatalf("one way = %v, want 50ns", got)
+	}
+}
+
+func TestSwitchedLatencyMatchesFig10(t *testing.T) {
+	l := SwitchedLatency()
+	if got := l.RoundTrip(); got != 190*sim.Nanosecond {
+		t.Fatalf("switched round trip = %v, want 190ns (§V-C)", got)
+	}
+	// End-to-end: 190 + 80 = 270ns, "still 25% lower than a 2-hop access".
+	endToEnd := l.RoundTrip() + 80*sim.Nanosecond
+	if endToEnd != 270*sim.Nanosecond {
+		t.Fatalf("end-to-end = %v", endToEnd)
+	}
+	if ratio := float64(endToEnd) / float64(360*sim.Nanosecond); ratio > 0.76 {
+		t.Fatalf("switched pool not ≥24%% faster than 2-hop: ratio %v", ratio)
+	}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mods := []func(*Config){
+		func(c *Config) { c.LinkBW = -1 },
+		func(c *Config) { c.Channels = 0 },
+		func(c *Config) { c.CapacityFraction = 0 },
+		func(c *Config) { c.CapacityFraction = 1.5 },
+		func(c *Config) { c.Latency = LatencyBreakdown{} },
+	}
+	for i, mod := range mods {
+		c := DefaultConfig()
+		mod(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestCapacityPages(t *testing.T) {
+	c := DefaultConfig() // 20%
+	if got := c.CapacityPages(1000); got != 200 {
+		t.Fatalf("capacity = %d, want 200", got)
+	}
+	c.CapacityFraction = 1.0 / 17
+	if got := c.CapacityPages(17000); got != 1000 {
+		t.Fatalf("capacity = %d, want 1000", got)
+	}
+	if got := c.CapacityPages(1); got != 1 {
+		t.Fatalf("capacity floor = %d, want 1", got)
+	}
+}

@@ -1,0 +1,147 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Time is measured in integer picoseconds so that latency and bandwidth
+// arithmetic stays exact and runs are bit-reproducible. Events scheduled
+// for the same instant fire in the order they were scheduled (FIFO
+// tie-breaking by sequence number), which keeps multi-component models
+// deterministic regardless of map iteration order elsewhere.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulation timestamp in picoseconds.
+type Time int64
+
+// Common time units, expressed in picoseconds.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Nanos returns t expressed in (possibly fractional) nanoseconds.
+func (t Time) Nanos() float64 { return float64(t) / float64(Nanosecond) }
+
+// String formats the time in nanoseconds for human consumption.
+func (t Time) String() string { return fmt.Sprintf("%.3fns", t.Nanos()) }
+
+// FromNanos converts a nanosecond quantity to a Time, rounding to the
+// nearest picosecond.
+func FromNanos(ns float64) Time { return Time(ns*float64(Nanosecond) + 0.5) }
+
+// Event is a unit of scheduled work. Fire runs at the event's timestamp.
+type Event func(now Time)
+
+type scheduled struct {
+	at  Time
+	seq uint64
+	fn  Event
+}
+
+type eventQueue []scheduled
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(scheduled)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Engine is a single-threaded discrete-event scheduler.
+//
+// The zero value is ready to use. Engine is not safe for concurrent use;
+// the simulation model is expected to be single-threaded (determinism is
+// a design goal — see DESIGN.md §3).
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventQueue
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an engine with its clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at the absolute time at. Scheduling in the past
+// panics: it always indicates a model bug, and silently reordering time
+// would corrupt every downstream statistic.
+func (e *Engine) At(at Time, fn Event) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, scheduled{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run delay picoseconds from now.
+func (e *Engine) After(delay Time, fn Event) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	e.At(e.now+delay, fn)
+}
+
+// Halt stops the current Run/RunUntil call after the in-flight event
+// completes. Further events remain queued.
+func (e *Engine) Halt() { e.halted = true }
+
+// Step executes the single earliest event. It reports false when the
+// queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	it := heap.Pop(&e.queue).(scheduled)
+	e.now = it.at
+	e.fired++
+	it.fn(e.now)
+	return true
+}
+
+// Run executes events until the queue is empty or Halt is called.
+func (e *Engine) Run() {
+	e.halted = false
+	for !e.halted && e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline. Events scheduled
+// beyond the deadline remain queued; the clock is advanced to deadline if
+// the queue drains or only later events remain.
+func (e *Engine) RunUntil(deadline Time) {
+	e.halted = false
+	for !e.halted {
+		if len(e.queue) == 0 || e.queue[0].at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}

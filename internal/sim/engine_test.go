@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Nanosecond != 1000*Picosecond {
+		t.Fatalf("Nanosecond = %d", Nanosecond)
+	}
+	if Second != 1_000_000_000_000 {
+		t.Fatalf("Second = %d", Second)
+	}
+	if got := FromNanos(80).Nanos(); got != 80 {
+		t.Fatalf("FromNanos(80).Nanos() = %v", got)
+	}
+	if got := FromNanos(0.5); got != 500 {
+		t.Fatalf("FromNanos(0.5) = %v", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if s := FromNanos(130).String(); s != "130.000ns" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func(Time) { got = append(got, 3) })
+	e.At(10, func(Time) { got = append(got, 1) })
+	e.At(20, func(Time) { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %v", e.Now())
+	}
+	if e.Fired() != 3 {
+		t.Fatalf("Fired = %d", e.Fired())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(42, func(Time) { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break violated at %d: %v", i, v)
+		}
+	}
+}
+
+func TestEngineAfterAndNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.After(10, func(now Time) {
+		fired = append(fired, now)
+		e.After(5, func(now Time) { fired = append(fired, now) })
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func(Time) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	e.At(50, func(Time) {})
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative delay")
+		}
+	}()
+	e.After(-1, func(Time) {})
+}
+
+func TestEngineHalt(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i), func(Time) {
+			count++
+			if count == 4 {
+				e.Halt()
+			}
+		})
+	}
+	e.Run()
+	if count != 4 {
+		t.Fatalf("count = %d", count)
+	}
+	if e.Pending() != 6 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	e.Run() // resumes
+	if count != 10 {
+		t.Fatalf("count after resume = %d", count)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		e.At(at, func(now Time) { fired = append(fired, now) })
+	}
+	e.RunUntil(12)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if e.Now() != 12 {
+		t.Fatalf("Now = %v, want clock advanced to deadline", e.Now())
+	}
+	e.RunUntil(100)
+	if len(fired) != 4 || e.Now() != 100 {
+		t.Fatalf("fired = %v now = %v", fired, e.Now())
+	}
+}
+
+func TestEngineRunUntilEmptyQueueAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(777)
+	if e.Now() != 777 {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestEngineStepEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on empty queue should return false")
+	}
+}
+
+// Property: events always fire in non-decreasing timestamp order, and the
+// set of fired timestamps equals the set scheduled.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		count := int(n%64) + 1
+		want := make([]Time, count)
+		var got []Time
+		for i := 0; i < count; i++ {
+			at := Time(rng.Int63n(1000))
+			want[i] = at
+			e.At(at, func(now Time) { got = append(got, now) })
+		}
+		e.Run()
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != count {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: nested After calls never observe a clock that moves backwards.
+func TestEngineMonotonicClockProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		last := Time(-1)
+		ok := true
+		var spawn func(now Time)
+		remaining := 200
+		spawn = func(now Time) {
+			if now < last {
+				ok = false
+			}
+			last = now
+			if remaining > 0 {
+				remaining--
+				e.After(Time(rng.Int63n(50)), spawn)
+			}
+		}
+		e.At(0, spawn)
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.At(Time(j%97), func(Time) {})
+		}
+		e.Run()
+	}
+}

@@ -1,0 +1,24 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"starnuma/internal/sim"
+)
+
+// A tiny two-event simulation: schedule, run, observe the clock.
+func ExampleEngine() {
+	eng := sim.NewEngine()
+	eng.At(100*sim.Nanosecond, func(now sim.Time) {
+		fmt.Println("first event at", now)
+		eng.After(30*sim.Nanosecond, func(now sim.Time) {
+			fmt.Println("chained event at", now)
+		})
+	})
+	eng.Run()
+	fmt.Println("clock:", eng.Now())
+	// Output:
+	// first event at 100.000ns
+	// chained event at 130.000ns
+	// clock: 130.000ns
+}

@@ -1,0 +1,27 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"starnuma/internal/sim"
+	"starnuma/internal/stats"
+)
+
+// Reproduce the paper's §II-B back-of-envelope AMAT estimate: 64% local
+// accesses and 36% to fully-shared pages split 25%/75% between 1-hop
+// and 2-hop.
+func ExampleAMAT() {
+	a := stats.NewAMAT()
+	for i := 0; i < 64; i++ {
+		a.Observe(stats.Local, 80*sim.Nanosecond)
+	}
+	for i := 0; i < 9; i++ {
+		a.Observe(stats.OneHop, 130*sim.Nanosecond)
+	}
+	for i := 0; i < 27; i++ {
+		a.Observe(stats.TwoHop, 360*sim.Nanosecond)
+	}
+	fmt.Println("unloaded AMAT:", a.Unloaded())
+	// Output:
+	// unloaded AMAT: 160.100ns
+}

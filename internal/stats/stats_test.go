@@ -1,0 +1,241 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"starnuma/internal/sim"
+)
+
+func TestAccessTypeStrings(t *testing.T) {
+	want := map[AccessType]string{
+		Local: "Local", OneHop: "1-hop", TwoHop: "2-hop",
+		Pool: "Pool", BTSocket: "BT_Socket", BTPool: "BT_Pool",
+	}
+	for at, s := range want {
+		if at.String() != s {
+			t.Errorf("%d.String() = %q want %q", at, at.String(), s)
+		}
+	}
+	if AccessType(42).String() != "AccessType(42)" {
+		t.Error("unknown type string")
+	}
+}
+
+func TestUnloadedLatenciesMatchPaper(t *testing.T) {
+	want := map[AccessType]sim.Time{
+		Local:    80 * sim.Nanosecond,
+		OneHop:   130 * sim.Nanosecond,
+		TwoHop:   360 * sim.Nanosecond,
+		Pool:     180 * sim.Nanosecond,
+		BTSocket: 413 * sim.Nanosecond,
+		BTPool:   280 * sim.Nanosecond,
+	}
+	for at, lat := range want {
+		if got := at.UnloadedLatency(); got != lat {
+			t.Errorf("%v unloaded = %v want %v", at, got, lat)
+		}
+	}
+}
+
+func TestUnloadedLatencyPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NumAccessTypes.UnloadedLatency()
+}
+
+func TestBreakdown(t *testing.T) {
+	var b Breakdown
+	b.Add(Local)
+	b.Add(Local)
+	b.Add(TwoHop)
+	b.Add(Pool)
+	if b.Total() != 4 {
+		t.Fatalf("total = %d", b.Total())
+	}
+	fr := b.Fractions()
+	if fr[Local] != 0.5 || fr[TwoHop] != 0.25 || fr[Pool] != 0.25 || fr[OneHop] != 0 {
+		t.Fatalf("fractions = %v", fr)
+	}
+	var b2 Breakdown
+	b2.Add(OneHop)
+	b.Merge(b2)
+	if b.Total() != 5 || b[OneHop] != 1 {
+		t.Fatal("merge failed")
+	}
+	if (Breakdown{}).Fractions() != [NumAccessTypes]float64{} {
+		t.Fatal("empty fractions not zero")
+	}
+}
+
+// §II-B's worked example: 64% local + 36% to 16-shared pages of which
+// 25% are 1-hop and 75% 2-hop gives AMAT 160ns; pooling those accesses
+// gives 112.8ns (the paper rounds to 112).
+func TestPaperSection2BWorkedExample(t *testing.T) {
+	a := NewAMAT()
+	for i := 0; i < 640; i++ {
+		a.Observe(Local, 80*sim.Nanosecond)
+	}
+	for i := 0; i < 90; i++ {
+		a.Observe(OneHop, 130*sim.Nanosecond)
+	}
+	for i := 0; i < 270; i++ {
+		a.Observe(TwoHop, 360*sim.Nanosecond)
+	}
+	if got := a.Unloaded().Nanos(); math.Abs(got-160.0) > 0.5 {
+		t.Fatalf("baseline unloaded AMAT = %vns, want 160ns", got)
+	}
+
+	p := NewAMAT()
+	for i := 0; i < 640; i++ {
+		p.Observe(Local, 80*sim.Nanosecond)
+	}
+	for i := 0; i < 360; i++ {
+		p.Observe(Pool, 180*sim.Nanosecond)
+	}
+	if got := p.Unloaded().Nanos(); math.Abs(got-116.0) > 0.5 {
+		t.Fatalf("pooled unloaded AMAT = %vns, want 116ns", got)
+	}
+}
+
+func TestAMATMeasuredAndContention(t *testing.T) {
+	a := NewAMAT()
+	a.Observe(Local, 200*sim.Nanosecond) // 120ns of queuing over the 80ns unloaded
+	a.Observe(Local, 100*sim.Nanosecond)
+	if got := a.Measured(); got != 150*sim.Nanosecond {
+		t.Fatalf("measured = %v", got)
+	}
+	if got := a.Unloaded(); got != 80*sim.Nanosecond {
+		t.Fatalf("unloaded = %v", got)
+	}
+	if got := a.Contention(); got != 70*sim.Nanosecond {
+		t.Fatalf("contention = %v", got)
+	}
+	if a.Count() != 2 {
+		t.Fatalf("count = %d", a.Count())
+	}
+}
+
+func TestAMATContentionFloor(t *testing.T) {
+	a := NewAMAT()
+	a.Observe(TwoHop, 100*sim.Nanosecond) // below unloaded (cannot happen in sim)
+	if a.Contention() != 0 {
+		t.Fatal("contention must floor at 0")
+	}
+}
+
+func TestAMATEmpty(t *testing.T) {
+	a := NewAMAT()
+	if a.Measured() != 0 || a.Unloaded() != 0 || a.Contention() != 0 {
+		t.Fatal("empty AMAT non-zero")
+	}
+}
+
+func TestAMATMerge(t *testing.T) {
+	a, b := NewAMAT(), NewAMAT()
+	a.Observe(Local, 80*sim.Nanosecond)
+	b.Observe(Pool, 180*sim.Nanosecond)
+	a.Merge(b)
+	if a.Count() != 2 || a.Breakdown()[Pool] != 1 {
+		t.Fatal("merge failed")
+	}
+}
+
+func TestAMATUnloadedOverride(t *testing.T) {
+	a := NewAMAT()
+	var lat [NumAccessTypes]sim.Time
+	for i := range lat {
+		lat[i] = AccessType(i).UnloadedLatency()
+	}
+	lat[Pool] = 270 * sim.Nanosecond // Fig. 10 switched pool
+	a.SetUnloadedLatencies(lat)
+	a.Observe(Pool, 300*sim.Nanosecond)
+	if got := a.Unloaded(); got != 270*sim.Nanosecond {
+		t.Fatalf("override unloaded = %v", got)
+	}
+	if got := a.Contention(); got != 30*sim.Nanosecond {
+		t.Fatalf("override contention = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("GeoMean = %v", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty GeoMean")
+	}
+	if got := GeoMean([]float64{0, -1, 3}); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("GeoMean skipping non-positive = %v", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty Mean")
+	}
+}
+
+// Property: unloaded AMAT is always within [min, max] unloaded latency
+// of the observed types, and contention is non-negative.
+func TestAMATBoundsProperty(t *testing.T) {
+	f := func(events []uint8) bool {
+		a := NewAMAT()
+		minL, maxL := sim.Time(math.MaxInt64), sim.Time(0)
+		for _, e := range events {
+			at := AccessType(e % uint8(NumAccessTypes))
+			l := at.UnloadedLatency()
+			if l < minL {
+				minL = l
+			}
+			if l > maxL {
+				maxL = l
+			}
+			a.Observe(at, l+sim.Time(e)*sim.Nanosecond)
+		}
+		if a.Count() == 0 {
+			return true
+		}
+		u := a.Unloaded()
+		return u >= minL && u <= maxL && a.Contention() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// §V-A's analytical decomposition on a realistic mixed profile: the
+// unloaded component must equal the hand-computed dot product.
+func TestUnloadedDecompositionDotProduct(t *testing.T) {
+	a := NewAMAT()
+	counts := map[AccessType]int{
+		Local: 300, OneHop: 100, TwoHop: 400, Pool: 150, BTSocket: 30, BTPool: 20,
+	}
+	for at, n := range counts {
+		for i := 0; i < n; i++ {
+			a.Observe(at, at.UnloadedLatency()+25*sim.Nanosecond)
+		}
+	}
+	var want float64
+	total := 0
+	for at, n := range counts {
+		want += float64(n) * float64(at.UnloadedLatency())
+		total += n
+	}
+	want /= float64(total)
+	got := float64(a.Unloaded())
+	if math.Abs(got-want) > float64(sim.Nanosecond) {
+		t.Fatalf("unloaded = %v, want %v", got, want)
+	}
+	// Contention is exactly the constant 25ns we injected.
+	if c := a.Contention().Nanos(); math.Abs(c-25) > 1 {
+		t.Fatalf("contention = %vns, want 25ns", c)
+	}
+}

@@ -1,0 +1,26 @@
+package tlb_test
+
+import (
+	"fmt"
+
+	"starnuma/internal/tlb"
+)
+
+// A page migration's shootdown reaches only the cores that cache the
+// translation (the shared TLB directory), and each repays with one walk.
+func ExampleSystem() {
+	s := tlb.NewSystem(64, tlb.DefaultConfig())
+	s.Access(0, 42)
+	s.Access(9, 42)
+	s.Access(30, 99) // unrelated
+
+	fmt.Println("notified:", s.Shootdown(42))
+	_, induced := s.Access(0, 42)
+	fmt.Println("victim core repays a walk:", induced)
+	_, induced = s.Access(30, 99)
+	fmt.Println("unrelated core charged:", induced)
+	// Output:
+	// notified: 2
+	// victim core repays a walk: true
+	// unrelated core charged: false
+}

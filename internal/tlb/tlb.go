@@ -1,0 +1,258 @@
+// Package tlb models the translation machinery StarNUMA's migration
+// mechanism depends on (§III-D3, Fig. 5):
+//
+//   - per-core set-associative TLBs holding page translations;
+//   - a shared TLB directory in the style of DiDi [Villavieja et al.,
+//     PACT'11], which records which cores cache a translation so that a
+//     page migration's shootdown is delivered only to the cores that
+//     actually need it, entirely in hardware;
+//   - shootdown bookkeeping: invalidated translations force a page walk
+//     on next access (§IV-C: "TLB shootdowns still invalidate TLB
+//     entries as needed and TLB misses trigger page walks").
+//
+// Steady-state TLB behaviour is already folded into each workload's
+// measured single-socket IPC, so the timing simulation charges latency
+// only for *shootdown-induced* walks — the marginal cost migrations add.
+package tlb
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// coreSet is a bitset over cores (SC3 scales to 128 cores, past uint64).
+type coreSet []uint64
+
+func newCoreSet(cores int) coreSet { return make(coreSet, (cores+63)/64) }
+
+func (s coreSet) set(c int)      { s[c/64] |= 1 << uint(c%64) }
+func (s coreSet) clear(c int)    { s[c/64] &^= 1 << uint(c%64) }
+func (s coreSet) has(c int) bool { return s[c/64]&(1<<uint(c%64)) != 0 }
+func (s coreSet) count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+func (s coreSet) empty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+type tlbEntry struct {
+	page  uint32
+	valid bool
+}
+
+// coreTLB is one core's set-associative TLB with per-set LRU.
+type coreTLB struct {
+	ways    int
+	setMask uint32
+	entries []tlbEntry
+}
+
+func newCoreTLB(entries, ways int) *coreTLB {
+	if entries < ways {
+		ways = entries
+	}
+	sets := 1
+	for sets*2*ways <= entries {
+		sets *= 2
+	}
+	return &coreTLB{ways: ways, setMask: uint32(sets - 1), entries: make([]tlbEntry, sets*ways)}
+}
+
+func (t *coreTLB) set(page uint32) []tlbEntry {
+	s := int(page & t.setMask)
+	return t.entries[s*t.ways : (s+1)*t.ways]
+}
+
+// lookup promotes page to MRU and reports a hit.
+func (t *coreTLB) lookup(page uint32) bool {
+	set := t.set(page)
+	for i := range set {
+		if set[i].valid && set[i].page == page {
+			e := set[i]
+			copy(set[1:i+1], set[0:i])
+			set[0] = e
+			return true
+		}
+	}
+	return false
+}
+
+// insert fills page as MRU, returning any displaced valid translation.
+func (t *coreTLB) insert(page uint32) (victim uint32, evicted bool) {
+	set := t.set(page)
+	for i := range set {
+		if !set[i].valid {
+			e := tlbEntry{page: page, valid: true}
+			copy(set[1:i+1], set[0:i])
+			set[0] = e
+			return 0, false
+		}
+	}
+	last := len(set) - 1
+	victim = set[last].page
+	e := tlbEntry{page: page, valid: true}
+	copy(set[1:], set[0:last])
+	set[0] = e
+	return victim, true
+}
+
+// invalidate drops page if present.
+func (t *coreTLB) invalidate(page uint32) bool {
+	set := t.set(page)
+	for i := range set {
+		if set[i].valid && set[i].page == page {
+			set[i] = tlbEntry{}
+			return true
+		}
+	}
+	return false
+}
+
+// Stats counts translation activity.
+type Stats struct {
+	Hits  uint64
+	Walks uint64 // TLB misses (page table walks)
+	// ShootdownWalks are walks forced by a preceding shootdown — the
+	// marginal migration cost the timing model charges.
+	ShootdownWalks uint64
+	// Shootdowns counts migration-triggered invalidation rounds.
+	Shootdowns uint64
+	// ShootdownTargets sums the cores notified across shootdowns; with
+	// the shared directory this is far below cores×shootdowns.
+	ShootdownTargets uint64
+}
+
+// System is the full translation subsystem: per-core TLBs plus the
+// shared directory.
+type System struct {
+	cores int
+	tlbs  []*coreTLB
+	// dir maps page -> cores caching its translation (the DiDi shared
+	// TLB directory).
+	dir map[uint32]coreSet
+	// shot marks (core, page) pairs whose next walk is shootdown-induced.
+	shot  map[uint32]coreSet
+	stats Stats
+}
+
+// Config sizes the per-core TLBs.
+type Config struct {
+	EntriesPerCore int
+	Ways           int
+}
+
+// DefaultConfig models a typical two-level TLB's reach collapsed into
+// one structure (1536 entries, 8-way), matching the paper's Fig. 5
+// sketch of an L2-TLB-attached annex.
+func DefaultConfig() Config { return Config{EntriesPerCore: 1536, Ways: 8} }
+
+// NewSystem builds the subsystem for the given core count.
+func NewSystem(cores int, cfg Config) *System {
+	if cores <= 0 || cfg.EntriesPerCore <= 0 || cfg.Ways <= 0 {
+		panic(fmt.Sprintf("tlb: invalid config cores=%d %+v", cores, cfg))
+	}
+	s := &System{
+		cores: cores,
+		dir:   make(map[uint32]coreSet, 1<<14),
+		shot:  make(map[uint32]coreSet),
+	}
+	for i := 0; i < cores; i++ {
+		s.tlbs = append(s.tlbs, newCoreTLB(cfg.EntriesPerCore, cfg.Ways))
+	}
+	return s
+}
+
+// Access runs core's translation of page. It returns whether the access
+// missed the TLB and, if so, whether the walk was forced by a shootdown
+// (the only case the timing model charges).
+func (s *System) Access(core int, page uint32) (walk, shootdownInduced bool) {
+	if s.tlbs[core].lookup(page) {
+		s.stats.Hits++
+		return false, false
+	}
+	s.stats.Walks++
+	if set, ok := s.shot[page]; ok && set.has(core) {
+		set.clear(core)
+		if set.empty() {
+			delete(s.shot, page)
+		}
+		shootdownInduced = true
+		s.stats.ShootdownWalks++
+	}
+	if victim, evicted := s.tlbs[core].insert(page); evicted {
+		s.dirRemove(victim, core)
+	}
+	s.dirAdd(page, core)
+	return true, shootdownInduced
+}
+
+func (s *System) dirAdd(page uint32, core int) {
+	set, ok := s.dir[page]
+	if !ok {
+		set = newCoreSet(s.cores)
+		s.dir[page] = set
+	}
+	set.set(core)
+}
+
+func (s *System) dirRemove(page uint32, core int) {
+	set, ok := s.dir[page]
+	if !ok {
+		return
+	}
+	set.clear(core)
+	if set.empty() {
+		delete(s.dir, page)
+	}
+}
+
+// Sharers returns how many cores currently cache page's translation.
+func (s *System) Sharers(page uint32) int {
+	set, ok := s.dir[page]
+	if !ok {
+		return 0
+	}
+	return set.count()
+}
+
+// Shootdown invalidates page's translation everywhere it is cached,
+// using the shared directory to target only the caching cores. It
+// returns how many cores were notified.
+func (s *System) Shootdown(page uint32) int {
+	s.stats.Shootdowns++
+	set, ok := s.dir[page]
+	if !ok {
+		return 0
+	}
+	notified := 0
+	shotSet := newCoreSet(s.cores)
+	for c := 0; c < s.cores; c++ {
+		if !set.has(c) {
+			continue
+		}
+		s.tlbs[c].invalidate(page)
+		shotSet.set(c)
+		notified++
+	}
+	delete(s.dir, page)
+	if notified > 0 {
+		s.shot[page] = shotSet
+	}
+	s.stats.ShootdownTargets += uint64(notified)
+	return notified
+}
+
+// Stats returns the subsystem's counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// TrackedPages returns the number of pages with live directory state.
+func (s *System) TrackedPages() int { return len(s.dir) }

@@ -1,0 +1,204 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCoreSet(t *testing.T) {
+	s := newCoreSet(128)
+	if len(s) != 2 {
+		t.Fatalf("words = %d", len(s))
+	}
+	s.set(0)
+	s.set(63)
+	s.set(64)
+	s.set(127)
+	if !s.has(0) || !s.has(63) || !s.has(64) || !s.has(127) || s.has(1) {
+		t.Fatal("membership wrong")
+	}
+	if s.count() != 4 {
+		t.Fatalf("count = %d", s.count())
+	}
+	s.clear(64)
+	if s.has(64) || s.count() != 3 {
+		t.Fatal("clear failed")
+	}
+	if s.empty() {
+		t.Fatal("not empty")
+	}
+}
+
+func TestAccessHitMiss(t *testing.T) {
+	s := NewSystem(4, DefaultConfig())
+	walk, shot := s.Access(0, 100)
+	if !walk || shot {
+		t.Fatalf("first access: walk=%v shot=%v", walk, shot)
+	}
+	walk, shot = s.Access(0, 100)
+	if walk || shot {
+		t.Fatalf("second access: walk=%v shot=%v", walk, shot)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Walks != 1 || st.ShootdownWalks != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDirectoryTracksSharers(t *testing.T) {
+	s := NewSystem(8, DefaultConfig())
+	s.Access(0, 42)
+	s.Access(3, 42)
+	s.Access(7, 42)
+	if got := s.Sharers(42); got != 3 {
+		t.Fatalf("sharers = %d", got)
+	}
+	if s.Sharers(43) != 0 {
+		t.Fatal("untracked page has sharers")
+	}
+	if s.TrackedPages() != 1 {
+		t.Fatalf("tracked = %d", s.TrackedPages())
+	}
+}
+
+func TestShootdownTargetsOnlyCachingCores(t *testing.T) {
+	s := NewSystem(8, DefaultConfig())
+	s.Access(1, 42)
+	s.Access(5, 42)
+	s.Access(2, 99) // unrelated page
+	if n := s.Shootdown(42); n != 2 {
+		t.Fatalf("notified %d cores, want 2", n)
+	}
+	if s.Sharers(42) != 0 {
+		t.Fatal("directory entry survived shootdown")
+	}
+	// Unrelated page untouched.
+	if walk, _ := s.Access(2, 99); walk {
+		t.Fatal("unrelated core lost its translation")
+	}
+	st := s.Stats()
+	if st.Shootdowns != 1 || st.ShootdownTargets != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestShootdownOfUncachedPage(t *testing.T) {
+	s := NewSystem(4, DefaultConfig())
+	if n := s.Shootdown(7); n != 0 {
+		t.Fatalf("notified %d cores for uncached page", n)
+	}
+}
+
+func TestShootdownInducedWalkChargedOnce(t *testing.T) {
+	s := NewSystem(4, DefaultConfig())
+	s.Access(1, 42)
+	s.Shootdown(42)
+	walk, shot := s.Access(1, 42)
+	if !walk || !shot {
+		t.Fatalf("post-shootdown: walk=%v shot=%v", walk, shot)
+	}
+	// A second shootdown and access by a core that never cached it: the
+	// walk is cold, not shootdown-induced.
+	s.Shootdown(42)
+	walk, shot = s.Access(3, 42)
+	if !walk || shot {
+		t.Fatalf("never-cached core: walk=%v shot=%v", walk, shot)
+	}
+	if st := s.Stats(); st.ShootdownWalks != 1 {
+		t.Fatalf("shootdown walks = %d, want 1", st.ShootdownWalks)
+	}
+}
+
+func TestEvictionRemovesFromDirectory(t *testing.T) {
+	cfg := Config{EntriesPerCore: 4, Ways: 2} // tiny TLB forces evictions
+	s := NewSystem(1, cfg)
+	for p := uint32(0); p < 64; p++ {
+		s.Access(0, p)
+	}
+	// Directory must track at most the TLB capacity.
+	if got := s.TrackedPages(); got > 4 {
+		t.Fatalf("directory holds %d pages, TLB capacity 4", got)
+	}
+}
+
+func TestLRUWithinTLB(t *testing.T) {
+	cfg := Config{EntriesPerCore: 2, Ways: 2} // one set, 2 ways
+	s := NewSystem(1, cfg)
+	s.Access(0, 1)
+	s.Access(0, 2)
+	s.Access(0, 1) // promote 1
+	s.Access(0, 3) // evicts 2
+	if walk, _ := s.Access(0, 1); walk {
+		t.Fatal("MRU page evicted")
+	}
+	if walk, _ := s.Access(0, 2); !walk {
+		t.Fatal("LRU page survived")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewSystem(0, DefaultConfig()) },
+		func() { NewSystem(4, Config{EntriesPerCore: 0, Ways: 1}) },
+		func() { NewSystem(4, Config{EntriesPerCore: 16, Ways: 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: the directory sharer count for a page always equals the
+// number of cores whose most recent operation on it was a caching
+// access (not an eviction or shootdown).
+func TestDirectoryConsistencyProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := NewSystem(4, Config{EntriesPerCore: 8, Ways: 2})
+		for _, op := range ops {
+			core := int(op % 4)
+			page := uint32(op/4) % 16
+			if op%7 == 0 {
+				s.Shootdown(page)
+			} else {
+				s.Access(core, page)
+			}
+		}
+		// Every tracked page must be consistent: a hit on an access by a
+		// tracked sharer.
+		for page := uint32(0); page < 16; page++ {
+			n := s.Sharers(page)
+			if n < 0 || n > 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAccess(b *testing.B) {
+	s := NewSystem(64, DefaultConfig())
+	for i := 0; i < b.N; i++ {
+		s.Access(i%64, uint32(i%8192))
+	}
+}
+
+func BenchmarkShootdown(b *testing.B) {
+	s := NewSystem(64, DefaultConfig())
+	for i := 0; i < 8192; i++ {
+		s.Access(i%64, uint32(i%8192))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := uint32(i % 8192)
+		s.Shootdown(p)
+		s.Access(i%64, p)
+	}
+}

@@ -1,0 +1,26 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"starnuma/internal/topology"
+)
+
+// Route a message from socket 0 to socket 15 (a different chassis) and
+// to the memory pool, and inspect the unloaded one-way latencies.
+func ExampleTopology_Route() {
+	topo := topology.New(topology.DefaultConfig())
+
+	interChassis := topo.Route(0, 15)
+	fmt.Println("inter-chassis hops:", len(interChassis))
+	fmt.Println("inter-chassis one-way:", topo.OneWayLatency(0, 15))
+
+	pool := topo.PoolNode()
+	fmt.Println("pool hops:", len(topo.Route(0, pool)))
+	fmt.Println("pool one-way:", topo.OneWayLatency(0, pool))
+	// Output:
+	// inter-chassis hops: 3
+	// inter-chassis one-way: 140.000ns
+	// pool hops: 1
+	// pool one-way: 50.000ns
+}

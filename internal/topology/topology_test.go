@@ -1,0 +1,281 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"starnuma/internal/sim"
+)
+
+func defaultTopo(t *testing.T) *Topology {
+	t.Helper()
+	return New(DefaultConfig())
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		ok   bool
+	}{
+		{"default", func(*Config) {}, true},
+		{"zero sockets", func(c *Config) { c.Sockets = 0 }, false},
+		{"zero per chassis", func(c *Config) { c.SocketsPerChassis = 0 }, false},
+		{"non multiple", func(c *Config) { c.Sockets = 14 }, false},
+		{"negative latency", func(c *Config) { c.CXLOneWay = -1 }, false},
+		{"single socket", func(c *Config) { c.Sockets = 4; c.SocketsPerChassis = 4 }, true},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig()
+		tc.mut(&cfg)
+		err := cfg.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.Sockets = -3
+	New(cfg)
+}
+
+func TestShape(t *testing.T) {
+	tp := defaultTopo(t)
+	if tp.Sockets() != 16 || tp.NumChassis() != 4 || tp.Nodes() != 17 {
+		t.Fatalf("shape: sockets=%d chassis=%d nodes=%d", tp.Sockets(), tp.NumChassis(), tp.Nodes())
+	}
+	if tp.PoolNode() != 16 {
+		t.Fatalf("pool node = %d", tp.PoolNode())
+	}
+	if tp.Chassis(0) != 0 || tp.Chassis(3) != 0 || tp.Chassis(4) != 1 || tp.Chassis(15) != 3 {
+		t.Fatal("chassis mapping wrong")
+	}
+}
+
+func TestChannelCounts(t *testing.T) {
+	tp := defaultTopo(t)
+	counts := map[ChannelKind]int{}
+	for _, ch := range tp.Channels() {
+		counts[ch.Kind]++
+	}
+	// 16 sockets x 3 intra-chassis peers, directed.
+	if counts[KindUPI] != 48 {
+		t.Errorf("UPI channels = %d, want 48", counts[KindUPI])
+	}
+	// One socket<->ASIC link per socket, both directions.
+	if counts[KindUPIASIC] != 32 {
+		t.Errorf("UPI-ASIC channels = %d, want 32", counts[KindUPIASIC])
+	}
+	// 8 ASICs x 6 remote ASICs, directed.
+	if counts[KindNUMALink] != 48 {
+		t.Errorf("NUMALink channels = %d, want 48", counts[KindNUMALink])
+	}
+	// One CXL link per socket, both directions.
+	if counts[KindCXL] != 32 {
+		t.Errorf("CXL channels = %d, want 32", counts[KindCXL])
+	}
+}
+
+func TestChannelKindString(t *testing.T) {
+	want := map[ChannelKind]string{
+		KindUPI: "UPI", KindUPIASIC: "UPI-ASIC", KindNUMALink: "NUMALink", KindCXL: "CXL",
+		ChannelKind(99): "ChannelKind(99)",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}
+
+// The paper's headline unloaded latencies (§II-A): +50ns intra-chassis,
+// +280ns inter-chassis, +100ns pool — i.e. one-way 25ns / 140ns / 50ns.
+func TestPaperOneWayLatencies(t *testing.T) {
+	tp := defaultTopo(t)
+	if got := tp.OneWayLatency(0, 1); got != 25*sim.Nanosecond {
+		t.Errorf("intra-chassis one-way = %v, want 25ns", got)
+	}
+	if got := tp.OneWayLatency(0, 4); got != 140*sim.Nanosecond {
+		t.Errorf("inter-chassis one-way = %v, want 140ns", got)
+	}
+	if got := tp.OneWayLatency(0, tp.PoolNode()); got != 50*sim.Nanosecond {
+		t.Errorf("pool one-way = %v, want 50ns", got)
+	}
+	if got := tp.OneWayLatency(tp.PoolNode(), 9); got != 50*sim.Nanosecond {
+		t.Errorf("pool->socket one-way = %v, want 50ns", got)
+	}
+	if got := tp.OneWayLatency(3, 3); got != 0 {
+		t.Errorf("self latency = %v, want 0", got)
+	}
+}
+
+func TestHopCount(t *testing.T) {
+	tp := defaultTopo(t)
+	if tp.HopCount(5, 5) != 0 {
+		t.Error("self should be 0 hops")
+	}
+	if tp.HopCount(0, 2) != 1 {
+		t.Error("intra-chassis should be 1 hop")
+	}
+	if tp.HopCount(0, 12) != 2 {
+		t.Error("inter-chassis should be 2 hops")
+	}
+	if tp.HopCount(0, tp.PoolNode()) != 1 {
+		t.Error("pool should be a single hop")
+	}
+}
+
+func TestRouteSymmetryAndEndpoints(t *testing.T) {
+	tp := defaultTopo(t)
+	n := NodeID(tp.Nodes())
+	for a := NodeID(0); a < n; a++ {
+		for b := NodeID(0); b < n; b++ {
+			fwd, rev := tp.Route(a, b), tp.Route(b, a)
+			if a == b {
+				if len(fwd) != 0 {
+					t.Fatalf("self route %d non-empty", a)
+				}
+				continue
+			}
+			if len(fwd) == 0 {
+				t.Fatalf("no route %d->%d", a, b)
+			}
+			if len(fwd) != len(rev) {
+				t.Fatalf("asymmetric hop count %d->%d: %d vs %d", a, b, len(fwd), len(rev))
+			}
+			if tp.OneWayLatency(a, b) != tp.OneWayLatency(b, a) {
+				t.Fatalf("asymmetric latency %d->%d", a, b)
+			}
+			// Route hops must chain: To of hop i == From of hop i+1.
+			chs := tp.Channels()
+			for i := 0; i+1 < len(fwd); i++ {
+				if chs[fwd[i]].To != chs[fwd[i+1]].From {
+					t.Fatalf("route %d->%d broken chain at hop %d: %v -> %v",
+						a, b, i, chs[fwd[i]], chs[fwd[i+1]])
+				}
+			}
+		}
+	}
+}
+
+func TestInterChassisRouteUsesThreeHops(t *testing.T) {
+	tp := defaultTopo(t)
+	r := tp.Route(0, 15)
+	if len(r) != 3 {
+		t.Fatalf("inter-chassis route has %d hops, want 3", len(r))
+	}
+	chs := tp.Channels()
+	if chs[r[0]].Kind != KindUPIASIC || chs[r[1]].Kind != KindNUMALink || chs[r[2]].Kind != KindUPIASIC {
+		t.Fatalf("route kinds = %v %v %v", chs[r[0]].Kind, chs[r[1]].Kind, chs[r[2]].Kind)
+	}
+}
+
+func TestNoPoolConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HasPool = false
+	tp := New(cfg)
+	if tp.Nodes() != 16 || tp.HasPool() {
+		t.Fatalf("nodes = %d hasPool = %v", tp.Nodes(), tp.HasPool())
+	}
+	for _, ch := range tp.Channels() {
+		if ch.Kind == KindCXL {
+			t.Fatal("pool-less topology has CXL channels")
+		}
+	}
+}
+
+func TestSingleChassisSystem(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Sockets = 4
+	cfg.HasPool = false
+	tp := New(cfg)
+	for a := NodeID(0); a < 4; a++ {
+		for b := NodeID(0); b < 4; b++ {
+			if a == b {
+				continue
+			}
+			if got := tp.OneWayLatency(a, b); got != 25*sim.Nanosecond {
+				t.Fatalf("single-chassis latency %d->%d = %v", a, b, got)
+			}
+		}
+	}
+	for _, ch := range tp.Channels() {
+		if ch.Kind == KindNUMALink {
+			t.Fatal("single-chassis system has NUMALinks")
+		}
+	}
+}
+
+// Fig. 10's sensitivity study: a 190ns CXL penalty (95ns one-way) yields a
+// 270ns end-to-end pool access (95+80+95).
+func TestCXLLatencyOverride(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CXLOneWay = 95 * sim.Nanosecond
+	tp := New(cfg)
+	if got := tp.OneWayLatency(2, tp.PoolNode()); got != 95*sim.Nanosecond {
+		t.Fatalf("override one-way = %v", got)
+	}
+}
+
+// Property: every socket pair in different chassis costs exactly 140ns
+// one-way, and same chassis exactly 25ns, regardless of which pair.
+func TestLatencyUniformityProperty(t *testing.T) {
+	tp := defaultTopo(t)
+	f := func(a, b uint8) bool {
+		x, y := NodeID(a%16), NodeID(b%16)
+		if x == y {
+			return tp.OneWayLatency(x, y) == 0
+		}
+		want := 140 * sim.Nanosecond
+		if tp.Chassis(x) == tp.Chassis(y) {
+			want = 25 * sim.Nanosecond
+		}
+		return tp.OneWayLatency(x, y) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Fig. 4: average 3-hop block-transfer network latency across all
+// (R, H, O) combinations is ~333ns; the 4-hop pool path is 200ns.
+func TestFig4BlockTransferLatencies(t *testing.T) {
+	tp := defaultTopo(t)
+	var sum sim.Time
+	var n int
+	for r := NodeID(0); r < 16; r++ {
+		for h := NodeID(0); h < 16; h++ {
+			for o := NodeID(0); o < 16; o++ {
+				if r == o {
+					continue // a cache-to-cache transfer needs distinct endpoints
+				}
+				sum += tp.OneWayLatency(r, h) + tp.OneWayLatency(h, o) + tp.OneWayLatency(o, r)
+				n++
+			}
+		}
+	}
+	avg := float64(sum) / float64(n) / float64(sim.Nanosecond)
+	if avg < 300 || avg > 366 {
+		t.Errorf("avg 3-hop BT latency = %.1fns, want ~333ns (paper Fig. 4)", avg)
+	}
+	pool := tp.PoolNode()
+	fourHop := tp.OneWayLatency(0, pool) + tp.OneWayLatency(pool, 9) +
+		tp.OneWayLatency(9, pool) + tp.OneWayLatency(pool, 0)
+	if fourHop != 200*sim.Nanosecond {
+		t.Errorf("4-hop via pool = %v, want 200ns (paper Fig. 4)", fourHop)
+	}
+}
+
+func BenchmarkRouteLookup(b *testing.B) {
+	tp := New(DefaultConfig())
+	for i := 0; i < b.N; i++ {
+		_ = tp.Route(NodeID(i%16), NodeID((i+7)%16))
+	}
+}

@@ -1,0 +1,28 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"starnuma/internal/trace"
+	"starnuma/internal/workload"
+)
+
+// Round-trip one record through the binary step-A trace format.
+func ExampleWriter() {
+	var buf bytes.Buffer
+	w, _ := trace.NewWriter(&buf, trace.Header{
+		Workload: "BFS", Cores: 64, Pages: 4096, Phase: 0,
+	})
+	w.Write(trace.Record{Core: 12, Access: workload.Access{
+		Gap: 31, Page: 1700, Block: 9, Write: true,
+	}})
+	w.Flush()
+
+	r, _ := trace.NewReader(&buf)
+	rec, _ := r.Read()
+	fmt.Printf("%s phase %d: core %d page %d write=%v\n",
+		r.Header().Workload, r.Header().Phase, rec.Core, rec.Access.Page, rec.Access.Write)
+	// Output:
+	// BFS phase 0: core 12 page 1700 write=true
+}

@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+
+	"starnuma/internal/workload"
+)
+
+// Source replays step-A trace files through the evaluation pipeline: it
+// implements core.AccessSource, so externally captured traces (or
+// traces dumped by cmd/tracegen) can drive steps B and C exactly like
+// the synthetic generators.
+//
+// One file per phase, in phase order. If the pipeline asks for more
+// phases than files exist, phases wrap around; if a core's stream is
+// exhausted within a phase, it also wraps (traces are treated as
+// stationary samples, like the paper's per-phase trace reuse).
+type Source struct {
+	spec           workload.Spec
+	paths          []string
+	sockets        int
+	coresPerSocket int
+	pages          int
+
+	cur     int // currently loaded phase file index (-1 = none)
+	streams [][]workload.Access
+	idx     []int
+}
+
+// NewSource opens a replay source over the given per-phase trace files.
+// The spec supplies the timing parameters (IPC, MPKI, MLP) the trace
+// itself does not carry; its footprint is overridden by the trace
+// header. All files must agree with the system shape.
+func NewSource(spec workload.Spec, sockets, coresPerSocket int, paths []string) (*Source, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("trace: no trace files")
+	}
+	if sockets <= 0 || coresPerSocket <= 0 {
+		return nil, fmt.Errorf("trace: invalid system shape %dx%d", sockets, coresPerSocket)
+	}
+	s := &Source{
+		spec:           spec,
+		paths:          paths,
+		sockets:        sockets,
+		coresPerSocket: coresPerSocket,
+		cur:            -1,
+	}
+	// Validate the first file and adopt its footprint.
+	h, err := s.readHeader(paths[0])
+	if err != nil {
+		return nil, err
+	}
+	if h.Cores != sockets*coresPerSocket {
+		return nil, fmt.Errorf("trace: file %s has %d cores, system needs %d",
+			paths[0], h.Cores, sockets*coresPerSocket)
+	}
+	s.pages = h.Pages
+	s.spec.FootprintPages = h.Pages
+	if err := s.load(0); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Source) readHeader(path string) (Header, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Header{}, err
+	}
+	defer f.Close()
+	r, err := NewReader(f)
+	if err != nil {
+		return Header{}, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	return r.Header(), nil
+}
+
+// load reads phase file i into per-core streams.
+func (s *Source) load(i int) error {
+	f, err := os.Open(s.paths[i])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := NewReader(f)
+	if err != nil {
+		return fmt.Errorf("trace: %s: %w", s.paths[i], err)
+	}
+	h := r.Header()
+	if h.Cores != s.sockets*s.coresPerSocket || h.Pages != s.pages {
+		return fmt.Errorf("trace: %s shape (%d cores, %d pages) disagrees with %s",
+			s.paths[i], h.Cores, h.Pages, s.paths[0])
+	}
+	streams := make([][]workload.Access, h.Cores)
+	for {
+		rec, err := r.Read()
+		if err != nil {
+			break // io.EOF or truncation; partial final record dropped
+		}
+		if int(rec.Core) >= h.Cores || int(rec.Access.Page) >= s.pages {
+			return fmt.Errorf("trace: %s: record out of range: %+v", s.paths[i], rec)
+		}
+		streams[rec.Core] = append(streams[rec.Core], rec.Access)
+	}
+	for c, st := range streams {
+		if len(st) == 0 {
+			return fmt.Errorf("trace: %s: core %d has no records", s.paths[i], c)
+		}
+	}
+	s.streams = streams
+	s.idx = make([]int, h.Cores)
+	s.cur = i
+	return nil
+}
+
+// Next implements core.AccessSource.
+func (s *Source) Next(core int) workload.Access {
+	st := s.streams[core]
+	a := st[s.idx[core]]
+	s.idx[core]++
+	if s.idx[core] >= len(st) {
+		s.idx[core] = 0 // wrap: treat the trace as a stationary sample
+	}
+	return a
+}
+
+// ResetPhase implements core.AccessSource.
+func (s *Source) ResetPhase(phase int) {
+	i := phase % len(s.paths)
+	if i != s.cur {
+		if err := s.load(i); err != nil {
+			// Files validated at construction; a failure here means the
+			// file changed underneath us — fail loudly.
+			panic(fmt.Sprintf("trace: reloading phase %d: %v", phase, err))
+		}
+		return
+	}
+	for c := range s.idx {
+		s.idx[c] = 0
+	}
+}
+
+// NumPages implements core.AccessSource.
+func (s *Source) NumPages() int { return s.pages }
+
+// NumCores implements core.AccessSource.
+func (s *Source) NumCores() int { return s.sockets * s.coresPerSocket }
+
+// SocketOf implements core.AccessSource.
+func (s *Source) SocketOf(core int) int { return core / s.coresPerSocket }
+
+// Spec implements core.AccessSource.
+func (s *Source) Spec() workload.Spec { return s.spec }

@@ -1,0 +1,27 @@
+package tracker_test
+
+import (
+	"fmt"
+
+	"starnuma/internal/tracker"
+)
+
+// Track a region touched by three sockets; T16 counts accesses, T0 only
+// records presence.
+func ExampleTable() {
+	t16 := tracker.NewTable(tracker.T16, 1024, 32)
+	for i := 0; i < 5; i++ {
+		t16.Record(0, 10)
+	}
+	t16.Record(7, 11)
+	t16.Record(15, 12) // all in region 0
+	fmt.Println("sharers:", t16.SharerCount(0), "count:", t16.Count(0))
+
+	t0 := tracker.NewTable(tracker.T0, 1024, 32)
+	t0.Record(0, 10)
+	t0.Record(7, 11)
+	fmt.Println("T0 sharers:", t0.SharerCount(0), "count:", t0.Count(0))
+	// Output:
+	// sharers: 3 count: 7
+	// T0 sharers: 2 count: 0
+}

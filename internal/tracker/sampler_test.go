@@ -1,0 +1,115 @@
+package tracker
+
+import "testing"
+
+func TestSamplerFractionRoughlyRespected(t *testing.T) {
+	tb := NewTable(T16, 32768, 32) // 1024 regions
+	s := NewSampler(tb, 0.25, 42)
+	n := 0
+	for r := 0; r < tb.NumRegions(); r++ {
+		if s.Sampled(r) {
+			n++
+		}
+	}
+	frac := float64(n) / float64(tb.NumRegions())
+	if frac < 0.18 || frac > 0.32 {
+		t.Fatalf("sampled fraction = %v, want ~0.25", frac)
+	}
+}
+
+func TestSamplerFullCoverage(t *testing.T) {
+	tb := NewTable(T16, 1024, 32)
+	s := NewSampler(tb, 1.0, 1)
+	for r := 0; r < tb.NumRegions(); r++ {
+		if !s.Sampled(r) {
+			t.Fatalf("region %d unsampled at frac 1.0", r)
+		}
+	}
+}
+
+func TestSamplerInvalidFracPanics(t *testing.T) {
+	tb := NewTable(T16, 1024, 32)
+	for _, f := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("frac %v accepted", f)
+				}
+			}()
+			NewSampler(tb, f, 1)
+		}()
+	}
+}
+
+func TestSamplerRecordsOnlySampledRegions(t *testing.T) {
+	tb := NewTable(T16, 1024, 32)
+	s := NewSampler(tb, 0.5, 7)
+	for page := uint32(0); page < 1024; page++ {
+		s.Record(3, page)
+	}
+	for r := 0; r < tb.NumRegions(); r++ {
+		hasData := tb.SharerCount(r) > 0
+		if hasData != s.Sampled(r) {
+			t.Fatalf("region %d: data=%v sampled=%v", r, hasData, s.Sampled(r))
+		}
+	}
+}
+
+func TestSamplerFaultsOncePerPagePerPhase(t *testing.T) {
+	tb := NewTable(T16, 1024, 32)
+	s := NewSampler(tb, 1.0, 7)
+	if !s.Record(0, 5) {
+		t.Fatal("first access did not fault")
+	}
+	if s.Record(1, 5) {
+		t.Fatal("second access faulted")
+	}
+	if s.Faults() != 1 {
+		t.Fatalf("faults = %d", s.Faults())
+	}
+	s.ResetPhase(1)
+	if !s.Record(0, 5) {
+		t.Fatal("post-reset access did not fault")
+	}
+}
+
+func TestSamplerPhaseRedrawIsDeterministic(t *testing.T) {
+	tb1 := NewTable(T16, 4096, 32)
+	tb2 := NewTable(T16, 4096, 32)
+	s1 := NewSampler(tb1, 0.3, 99)
+	s2 := NewSampler(tb2, 0.3, 99)
+	s1.ResetPhase(4)
+	s2.ResetPhase(4)
+	for r := 0; r < tb1.NumRegions(); r++ {
+		if s1.Sampled(r) != s2.Sampled(r) {
+			t.Fatalf("sample draw not deterministic at region %d", r)
+		}
+	}
+	// Different phases draw different samples.
+	s2.ResetPhase(5)
+	same := 0
+	for r := 0; r < tb1.NumRegions(); r++ {
+		if s1.Sampled(r) == s2.Sampled(r) {
+			same++
+		}
+	}
+	if same == tb1.NumRegions() {
+		t.Fatal("phase 5 sample identical to phase 4")
+	}
+}
+
+func TestSamplerWouldFaultAndMark(t *testing.T) {
+	tb := NewTable(T16, 1024, 32)
+	s := NewSampler(tb, 1.0, 7)
+	if !s.WouldFault(9) {
+		t.Fatal("fresh sampled page should fault")
+	}
+	s.MarkFaulted(9)
+	if s.WouldFault(9) {
+		t.Fatal("marked page still faults")
+	}
+	// WouldFault must not record metadata.
+	if tb.SharerCount(tb.RegionOf(9)) != 0 {
+		t.Fatal("WouldFault mutated the table")
+	}
+}

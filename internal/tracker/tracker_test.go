@@ -1,0 +1,174 @@
+package tracker
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	if T16.String() != "T16" || T0.String() != "T0" || Kind(7).String() != "Kind(7)" {
+		t.Fatal("Kind.String wrong")
+	}
+}
+
+func TestSizing(t *testing.T) {
+	tb := NewTable(T16, 1000, 32)
+	if tb.NumRegions() != 32 { // ceil(1000/32)
+		t.Fatalf("regions = %d", tb.NumRegions())
+	}
+	if tb.RegionPages() != 32 {
+		t.Fatalf("regionPages = %d", tb.RegionPages())
+	}
+	if tb.RegionOf(0) != 0 || tb.RegionOf(31) != 0 || tb.RegionOf(32) != 1 || tb.RegionOf(999) != 31 {
+		t.Fatal("RegionOf wrong")
+	}
+	first, count := tb.PageRange(2)
+	if first != 64 || count != 32 {
+		t.Fatalf("PageRange = %d,%d", first, count)
+	}
+}
+
+func TestInvalidSizingPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewTable(T16, 0, 32) },
+		func() { NewTable(T16, 100, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRecordAndSharers(t *testing.T) {
+	tb := NewTable(T16, 1024, 32)
+	tb.Record(3, 10)
+	tb.Record(3, 11)
+	tb.Record(7, 20) // same region 0
+	tb.Record(1, 40) // region 1
+	if got := tb.SharerCount(0); got != 2 {
+		t.Fatalf("region 0 sharers = %d", got)
+	}
+	set := tb.SharerSet(0)
+	if len(set) != 2 || set[0] != 3 || set[1] != 7 {
+		t.Fatalf("sharer set = %v", set)
+	}
+	if got := tb.Count(0); got != 3 {
+		t.Fatalf("region 0 count = %d", got)
+	}
+	if got := tb.Count(1); got != 1 {
+		t.Fatalf("region 1 count = %d", got)
+	}
+	if tb.SharerCount(2) != 0 || len(tb.SharerSet(2)) != 0 {
+		t.Fatal("untouched region has sharers")
+	}
+}
+
+func TestT0HasNoCounts(t *testing.T) {
+	tb := NewTable(T0, 1024, 32)
+	for i := 0; i < 100; i++ {
+		tb.Record(0, 5)
+	}
+	if tb.Count(0) != 0 {
+		t.Fatalf("T0 count = %d, want 0", tb.Count(0))
+	}
+	if tb.SharerCount(0) != 1 {
+		t.Fatalf("T0 sharers = %d", tb.SharerCount(0))
+	}
+}
+
+func TestCounterSaturates(t *testing.T) {
+	tb := NewTable(T16, 64, 64)
+	for i := 0; i < 70000; i++ {
+		tb.Record(0, 0)
+	}
+	if got := tb.Count(0); got != 0xFFFF {
+		t.Fatalf("count = %d, want saturation at 65535", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	tb := NewTable(T16, 1024, 32)
+	tb.Record(5, 100)
+	tb.Reset()
+	if tb.Count(3) != 0 || tb.SharerCount(3) != 0 {
+		t.Fatal("reset did not clear state")
+	}
+	// Flush accounting survives reset (it is lifetime traffic).
+	for i := 0; i < annexBatch; i++ {
+		tb.Record(0, 0)
+	}
+	if tb.Flushes() == 0 {
+		t.Fatal("no flushes recorded")
+	}
+}
+
+func TestFlushRate(t *testing.T) {
+	tb := NewTable(T16, 1024, 32)
+	const n = 10 * annexBatch
+	for i := 0; i < n; i++ {
+		tb.Record(i%16, uint32(i%1024))
+	}
+	if got := tb.Flushes(); got != 10 {
+		t.Fatalf("flushes = %d, want 10", got)
+	}
+}
+
+func TestMetadataBytes(t *testing.T) {
+	t16 := NewTable(T16, 32768, 32) // 1024 regions
+	if got := t16.MetadataBytes(); got != 1024*6 {
+		t.Fatalf("T16 metadata = %d", got)
+	}
+	t0 := NewTable(T0, 32768, 32)
+	if got := t0.MetadataBytes(); got != 1024*4 {
+		t.Fatalf("T0 metadata = %d", got)
+	}
+}
+
+// Property: SharerCount always equals the number of distinct sockets
+// recorded into the region, and counts equal records (below saturation).
+func TestTrackerConsistencyProperty(t *testing.T) {
+	f := func(events []uint16) bool {
+		tb := NewTable(T16, 4096, 64)
+		type key struct{ r, s int }
+		distinct := map[key]bool{}
+		perRegion := map[int]uint32{}
+		for _, ev := range events {
+			s := int(ev % 16)
+			page := uint32(ev) % 4096
+			tb.Record(s, page)
+			r := tb.RegionOf(page)
+			distinct[key{r, s}] = true
+			perRegion[r]++
+		}
+		for r, want := range perRegion {
+			if tb.Count(r) != want && want < 0xFFFF {
+				return false
+			}
+			n := 0
+			for s := 0; s < 16; s++ {
+				if distinct[key{r, s}] {
+					n++
+				}
+			}
+			if tb.SharerCount(r) != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	tb := NewTable(T16, 32768, 32)
+	for i := 0; i < b.N; i++ {
+		tb.Record(i%16, uint32(i%32768))
+	}
+}

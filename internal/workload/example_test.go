@@ -1,0 +1,25 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"starnuma/internal/workload"
+)
+
+// Generate the first LLC miss of core 0 for the BFS model.
+func ExampleGenerator() {
+	spec, _ := workload.ByName("BFS", 0.125)
+	gen, _ := workload.NewGenerator(spec, 16, 4)
+
+	a := gen.Next(0)
+	fmt.Println("page in range:", a.Page < uint32(gen.NumPages()))
+	fmt.Println("cores:", gen.NumCores())
+
+	// The same phase replays identically.
+	gen2, _ := workload.NewGenerator(spec, 16, 4)
+	fmt.Println("deterministic:", gen2.Next(0) == a)
+	// Output:
+	// page in range: true
+	// cores: 64
+	// deterministic: true
+}
