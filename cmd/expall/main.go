@@ -3,10 +3,16 @@
 //
 // Usage:
 //
-//	expall [-quick] [-scale 0.25] [-o results.txt]
+//	expall [-quick] [-scale 0.25] [-jobs N] [-o results.txt]
+//	       [-nocache] [-cache DIR] [-benchjson BENCH_expall.json]
+//
+// Experiments execute on internal/runner's parallel scheduler (-jobs
+// worker slots, default GOMAXPROCS) with a persistent result cache
+// under -cache (default .starnuma-cache; -nocache disables it).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -14,14 +20,39 @@ import (
 	"time"
 
 	"starnuma/internal/exp"
+	"starnuma/internal/runner"
 )
+
+// benchExperiment is one per-experiment timing record of -benchjson.
+type benchExperiment struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+}
+
+// benchReport is the -benchjson document.
+type benchReport struct {
+	Timestamp    string            `json:"timestamp"`
+	Quick        bool              `json:"quick"`
+	Scale        float64           `json:"scale"`
+	Jobs         int               `json:"jobs"`
+	SuiteSeconds float64           `json:"suite_seconds"`
+	CacheHits    int64             `json:"cache_hits"`
+	CacheMisses  int64             `json:"cache_misses"`
+	WindowsDone  int64             `json:"windows_done"`
+	Experiments  []benchExperiment `json:"experiments"`
+}
 
 func main() {
 	var (
-		quick  = flag.Bool("quick", false, "use the quick (small) configuration")
-		scale  = flag.Float64("scale", 0, "override workload footprint scale")
-		out    = flag.String("o", "", "also write results to this file")
-		format = flag.String("format", "text", "output format: text, csv, md")
+		quick     = flag.Bool("quick", false, "use the quick (small) configuration")
+		scale     = flag.Float64("scale", 0, "override workload footprint scale")
+		jobs      = flag.Int("jobs", 0, "parallel worker slots (0 = GOMAXPROCS)")
+		out       = flag.String("o", "", "also write results to this file")
+		format    = flag.String("format", "text", "output format: text, csv, md")
+		cacheDir  = flag.String("cache", runner.DefaultCacheDir, "result cache directory")
+		noCache   = flag.Bool("nocache", false, "disable the persistent result cache")
+		progress  = flag.Bool("progress", true, "report job progress on stderr")
+		benchJSON = flag.String("benchjson", "", "write suite/per-experiment timings to this JSON file")
 	)
 	flag.Parse()
 
@@ -31,6 +62,13 @@ func main() {
 	}
 	if *scale > 0 {
 		opts.Scale = *scale
+	}
+	opts.Jobs = *jobs
+	if !*noCache {
+		opts.CacheDir = *cacheDir
+	}
+	if *progress {
+		opts.Reporter = runner.NewTerminalReporter(os.Stderr)
 	}
 
 	var w io.Writer = os.Stdout
@@ -45,22 +83,53 @@ func main() {
 	}
 
 	start := time.Now()
-	runner := exp.NewRunner(opts)
-	tables, err := runner.All()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "expall: %v\n", err)
-		os.Exit(1)
-	}
+	r := exp.NewRunner(opts)
 	fmt.Fprintf(w, "StarNUMA reproduction — full experiment suite\n")
-	fmt.Fprintf(w, "scale=%v phases=%d phaseInstr=%d timedInstr=%d\n\n",
-		opts.Scale, opts.Sim.Phases, opts.Sim.PhaseInstr, opts.Sim.TimedInstr)
-	for _, t := range tables {
-		rendered, err := t.Format(*format)
+	fmt.Fprintf(w, "scale=%v phases=%d phaseInstr=%d timedInstr=%d jobs=%d\n\n",
+		opts.Scale, opts.Sim.Phases, opts.Sim.PhaseInstr, opts.Sim.TimedInstr,
+		r.Exec().Jobs())
+
+	var timings []benchExperiment
+	for _, id := range exp.IDs() {
+		t0 := time.Now()
+		table, err := r.ByID(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expall: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		timings = append(timings, benchExperiment{ID: id, Seconds: time.Since(t0).Seconds()})
+		rendered, err := table.Format(*format)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "expall: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Fprintln(w, rendered)
 	}
-	fmt.Fprintf(w, "completed in %v\n", time.Since(start).Round(time.Second))
+	elapsed := time.Since(start)
+	m := r.Exec().Metrics()
+	fmt.Fprintf(w, "completed in %v (%d runs, %d windows, cache %d hit / %d miss)\n",
+		elapsed.Round(time.Second), m.RunsDone, m.WindowsDone, m.CacheHits, m.CacheMisses)
+
+	if *benchJSON != "" {
+		report := benchReport{
+			Timestamp:    start.UTC().Format(time.RFC3339),
+			Quick:        *quick,
+			Scale:        opts.Scale,
+			Jobs:         r.Exec().Jobs(),
+			SuiteSeconds: elapsed.Seconds(),
+			CacheHits:    m.CacheHits,
+			CacheMisses:  m.CacheMisses,
+			WindowsDone:  m.WindowsDone,
+			Experiments:  timings,
+		}
+		b, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expall: benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*benchJSON, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "expall: benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }

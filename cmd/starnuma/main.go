@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"starnuma/internal/exp"
+	"starnuma/internal/runner"
 )
 
 func main() {
@@ -29,6 +30,10 @@ func main() {
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all)")
 		format    = flag.String("format", "text", "output format: text, csv, md")
 		chart     = flag.Int("chart", -1, "render the given column index as ASCII bars instead")
+		jobs      = flag.Int("jobs", 0, "parallel worker slots (0 = GOMAXPROCS)")
+		cacheDir  = flag.String("cache", runner.DefaultCacheDir, "result cache directory")
+		noCache   = flag.Bool("nocache", false, "disable the persistent result cache")
+		progress  = flag.Bool("progress", false, "report job progress on stderr")
 	)
 	flag.Parse()
 
@@ -55,6 +60,13 @@ func main() {
 	}
 	if *workloads != "" {
 		opts.Workloads = strings.Split(*workloads, ",")
+	}
+	opts.Jobs = *jobs
+	if !*noCache {
+		opts.CacheDir = *cacheDir
+	}
+	if *progress {
+		opts.Reporter = runner.NewTerminalReporter(os.Stderr)
 	}
 
 	table, err := exp.NewRunner(opts).ByID(*expID)

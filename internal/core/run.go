@@ -54,6 +54,10 @@ type Result struct {
 	// Instructions / Misses are post-warmup totals.
 	Instructions uint64
 	Misses       uint64
+
+	// ipcs accumulates per-core post-warmup IPC samples across merged
+	// windows, in checkpoint order; Plan.Assemble reduces them to IPC.
+	ipcs []float64
 }
 
 // CoherenceTxnIntervalNS returns the mean simulated time between
@@ -81,79 +85,20 @@ func Run(sys SystemConfig, cfg SimConfig, spec workload.Spec) (*Result, error) {
 }
 
 // RunSource executes the pipeline over an arbitrary access source (a
-// synthetic generator or a trace replay).
+// synthetic generator or a trace replay): step B via NewPlan, then the
+// step-C windows sequentially in checkpoint order. internal/runner runs
+// the same windows concurrently; both paths produce bit-identical
+// Results because Assemble merges in checkpoint order either way.
 func RunSource(sys SystemConfig, cfg SimConfig, gen AccessSource) (*Result, error) {
-	if err := sys.Validate(); err != nil {
-		return nil, err
-	}
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	topo := topology.New(sys.Topology)
-	if want := topo.Sockets() * sys.CoresPerSocket; gen.NumCores() != want {
-		return nil, fmt.Errorf("core: source has %d cores, system needs %d", gen.NumCores(), want)
-	}
-	spec := gen.Spec()
-
-	// Step B: trace simulation producing checkpoints.
-	tr, err := TraceSimulate(sys, cfg, gen)
+	p, err := NewPlan(sys, cfg, gen)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.StaticOracle {
-		applyStaticOracle(tr, sys, gen, int64(spec.Seed))
+	windows := make([]Window, p.NumWindows())
+	for i := range windows {
+		windows[i] = p.RunWindow(i, gen)
 	}
-
-	// Step C: one timing window per checkpoint.
-	res := &Result{
-		Workload:       spec.Name,
-		Policy:         cfg.Policy,
-		Tracker:        cfg.Tracker.String(),
-		AMAT:           stats.NewAMAT(),
-		MigrStats:      tr.MigrStats,
-		TrackerFlushes: tr.TrackerFlushes,
-	}
-	res.AMAT.SetUnloadedLatencies(unloadedLatencies(topo,
-		sys.SocketMem.OnChip+sys.SocketMem.DRAMLatency))
-	var ipcs []float64
-	for _, chk := range tr.Checkpoints {
-		w := runWindow(sys, cfg, gen, chk, tr.Replicated)
-		res.AMAT.Merge(w.amat)
-		ipcs = append(ipcs, w.ipcs...)
-		res.Instructions += w.instr
-		res.Misses += w.misses
-		res.Dir.Transactions += w.dir.Transactions
-		res.Dir.BT3Hop += w.dir.BT3Hop
-		res.Dir.BT4Hop += w.dir.BT4Hop
-		res.Dir.Invalidations += w.dir.Invalidations
-		res.MigrStalledAccesses += w.migrStalled
-		res.SimulatedTime += w.simTime
-		res.TLB.Hits += w.tlb.Hits
-		res.TLB.Walks += w.tlb.Walks
-		res.TLB.ShootdownWalks += w.tlb.ShootdownWalks
-		res.TLB.Shootdowns += w.tlb.Shootdowns
-		res.TLB.ShootdownTargets += w.tlb.ShootdownTargets
-		res.ReplicaReads += w.replicaReads
-		res.ReplicaWriteStalls += w.replicaWriteStalls
-		res.PageFaults += w.pageFaults
-	}
-	for _, rep := range tr.Replicated {
-		if rep {
-			res.ReplicatedPages++
-		}
-	}
-	res.IPC = stats.Mean(ipcs)
-	if res.Instructions > 0 {
-		res.MPKI = float64(res.Misses) / float64(res.Instructions) * 1000
-	}
-	if topo.HasPool() {
-		for _, h := range tr.FinalHome {
-			if h == topo.PoolNode() {
-				res.PoolPages++
-			}
-		}
-	}
-	return res, nil
+	return p.Assemble(windows), nil
 }
 
 // RunSuite runs every workload of the suite on one system configuration.

@@ -8,8 +8,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"starnuma/internal/core"
+	"starnuma/internal/runner"
 	"starnuma/internal/workload"
 )
 
@@ -66,6 +68,15 @@ type Options struct {
 	Sim core.SimConfig
 	// Workloads restricts the suite (nil = all eight).
 	Workloads []string
+
+	// Jobs is the worker-slot count of the parallel execution runner
+	// (0 = GOMAXPROCS).
+	Jobs int
+	// CacheDir enables the persistent result cache when non-empty
+	// (internal/runner; keyed by system+sim+workload content hash).
+	CacheDir string
+	// Reporter observes job progress; nil = silent.
+	Reporter runner.Reporter
 }
 
 // Quick returns bench/test-sized options (minutes for the full suite).
@@ -106,49 +117,136 @@ func (o Options) specs() ([]workload.Spec, error) {
 	return out, nil
 }
 
-// Runner memoises core.Run results so experiments sharing a
-// configuration (e.g. the baseline used by Figs. 8-12) simulate it once.
+// Runner memoises simulation results so experiments sharing a
+// configuration (e.g. the baseline used by Figs. 8-12) simulate it
+// once, and routes execution through internal/runner's parallel
+// scheduler: each figure prefetches its (variant × workload) grid as
+// one wave of suite-level jobs, and each job's step-C windows fan out
+// as window-level jobs.
 type Runner struct {
-	opts  Options
-	cache map[string]*core.Result
+	opts Options
+	exec *runner.Runner
+
+	mu   sync.Mutex
+	memo map[string]*core.Result
 }
 
 // NewRunner creates a runner for the given options.
 func NewRunner(opts Options) *Runner {
-	return &Runner{opts: opts, cache: make(map[string]*core.Result)}
+	return &Runner{
+		opts: opts,
+		exec: runner.New(runner.Config{
+			Jobs:     opts.Jobs,
+			CacheDir: opts.CacheDir,
+			Reporter: opts.Reporter,
+		}),
+		memo: make(map[string]*core.Result),
+	}
 }
 
 // Options returns the runner's options.
 func (r *Runner) Options() Options { return r.opts }
 
+// Exec returns the underlying execution scheduler (progress metrics).
+func (r *Runner) Exec() *runner.Runner { return r.exec }
+
+func (r *Runner) memoGet(key string) (*core.Result, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	res, ok := r.memo[key]
+	return res, ok
+}
+
+func (r *Runner) memoPut(key string, res *core.Result) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.memo[key] = res
+}
+
 // run executes (or recalls) one (variant, workload) simulation. The
 // variant key must uniquely identify sys+cfg.
 func (r *Runner) run(variant string, sys core.SystemConfig, cfg core.SimConfig, spec workload.Spec) (*core.Result, error) {
 	key := variant + "|" + spec.Name
-	if res, ok := r.cache[key]; ok {
+	if res, ok := r.memoGet(key); ok {
 		return res, nil
 	}
-	res, err := core.Run(sys, cfg, spec)
+	res, err := r.exec.Run(variant+"/"+spec.Name, sys, cfg, spec)
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s/%s: %w", variant, spec.Name, err)
 	}
-	r.cache[key] = res
+	r.memoPut(key, res)
 	return res, nil
 }
 
-// baseline runs the paper's favoured baseline: no pool, perfect
-// zero-cost page knowledge.
-func (r *Runner) baseline(spec workload.Spec) (*core.Result, error) {
-	cfg := r.opts.Sim
-	cfg.Policy = core.PolicyPerfectBaseline
-	return r.run("baseline", core.BaselineSystem(), cfg, spec)
+// variant bundles a named (system, methodology) configuration. The name
+// doubles as the memo key prefix, so it must uniquely identify sys+cfg.
+type variant struct {
+	name string
+	sys  core.SystemConfig
+	cfg  core.SimConfig
 }
 
-// starnuma runs the default StarNUMA configuration (T16 tracker).
-func (r *Runner) starnuma(spec workload.Spec) (*core.Result, error) {
+// runVariant recalls or computes one (variant, workload) pair.
+func (r *Runner) runVariant(v variant, spec workload.Spec) (*core.Result, error) {
+	return r.run(v.name, v.sys, v.cfg, spec)
+}
+
+// prefetch fans every not-yet-memoised (variant × workload) pair
+// through the parallel scheduler in one wave; subsequent runVariant
+// calls for these pairs are memo hits. This is the suite-level job
+// decomposition: figures call it before their sequential row loops.
+func (r *Runner) prefetch(specs []workload.Spec, vs ...variant) error {
+	var jobs []runner.Job
+	var keys []string
+	for _, v := range vs {
+		for _, spec := range specs {
+			key := v.name + "|" + spec.Name
+			if _, ok := r.memoGet(key); ok {
+				continue
+			}
+			jobs = append(jobs, runner.Job{
+				Label: v.name + "/" + spec.Name,
+				Sys:   v.sys, Cfg: v.cfg, Spec: spec,
+			})
+			keys = append(keys, key)
+		}
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+	results, err := r.exec.RunAll(jobs)
+	if err != nil {
+		return fmt.Errorf("exp: prefetch: %w", err)
+	}
+	for i, res := range results {
+		r.memoPut(keys[i], res)
+	}
+	return nil
+}
+
+// baselineVariant is the paper's favoured baseline: no pool, perfect
+// zero-cost page knowledge.
+func (r *Runner) baselineVariant() variant {
+	cfg := r.opts.Sim
+	cfg.Policy = core.PolicyPerfectBaseline
+	return variant{"baseline", core.BaselineSystem(), cfg}
+}
+
+// starnumaVariant is the default StarNUMA configuration (T16 tracker).
+func (r *Runner) starnumaVariant() variant {
 	cfg := r.opts.Sim
 	cfg.Policy = core.PolicyStarNUMA
-	return r.run("starnuma-t16", core.StarNUMASystem(), cfg, spec)
+	return variant{"starnuma-t16", core.StarNUMASystem(), cfg}
+}
+
+// baseline runs the paper's favoured baseline for one workload.
+func (r *Runner) baseline(spec workload.Spec) (*core.Result, error) {
+	return r.runVariant(r.baselineVariant(), spec)
+}
+
+// starnuma runs the default StarNUMA configuration for one workload.
+func (r *Runner) starnuma(spec workload.Spec) (*core.Result, error) {
+	return r.runVariant(r.starnumaVariant(), spec)
 }
 
 // formatting helpers

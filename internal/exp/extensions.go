@@ -27,26 +27,35 @@ func (r *Runner) ExtReplication() (*Table, error) {
 		Columns: []string{"workload", "baseline+repl", "naive repl (r/w too)", "starnuma", "starnuma+repl", "repl pages", "write stalls"},
 		Notes:   "§V-F (qualitative): replication suits read-only sharing (TC) but software coherence on read-write pages (BFS, Masstree) is prohibitive; replication and pooling are complementary",
 	}
+	cfgR := r.opts.Sim
+	cfgR.Policy = core.PolicyPerfectBaseline
+	cfgR.Replication = migrate.DefaultReplicationConfig()
+	cfgR.Replication.Enable = true
+	// Naive replication ignores the read-only filter — the paper's
+	// "prohibitive overheads" case: every store to a replicated page
+	// pays the software coherence penalty.
+	cfgN := cfgR
+	cfgN.Replication.MaxWriteFrac = 1.0
+	cfgB := r.opts.Sim
+	cfgB.Policy = core.PolicyStarNUMA
+	cfgB.Replication = cfgR.Replication
+	replV := variant{"baseline-repl", core.BaselineSystem(), cfgR}
+	naiveV := variant{"baseline-repl-naive", core.BaselineSystem(), cfgN}
+	bothV := variant{"starnuma-repl", core.StarNUMASystem(), cfgB}
+	if err := r.prefetch(specs, r.baselineVariant(), r.starnumaVariant(), replV, naiveV, bothV); err != nil {
+		return nil, err
+	}
 	var vRepl, vNaive, vSN, vBoth []float64
 	for _, spec := range specs {
 		rb, err := r.baseline(spec)
 		if err != nil {
 			return nil, err
 		}
-		cfgR := r.opts.Sim
-		cfgR.Policy = core.PolicyPerfectBaseline
-		cfgR.Replication = migrate.DefaultReplicationConfig()
-		cfgR.Replication.Enable = true
-		rRepl, err := r.run("baseline-repl", core.BaselineSystem(), cfgR, spec)
+		rRepl, err := r.runVariant(replV, spec)
 		if err != nil {
 			return nil, err
 		}
-		// Naive replication ignores the read-only filter — the paper's
-		// "prohibitive overheads" case: every store to a replicated page
-		// pays the software coherence penalty.
-		cfgN := cfgR
-		cfgN.Replication.MaxWriteFrac = 1.0
-		rNaive, err := r.run("baseline-repl-naive", core.BaselineSystem(), cfgN, spec)
+		rNaive, err := r.runVariant(naiveV, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -54,10 +63,7 @@ func (r *Runner) ExtReplication() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		cfgB := r.opts.Sim
-		cfgB.Policy = core.PolicyStarNUMA
-		cfgB.Replication = cfgR.Replication
-		rBoth, err := r.run("starnuma-repl", core.StarNUMASystem(), cfgB, spec)
+		rBoth, err := r.runVariant(bothV, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -105,21 +111,30 @@ func (r *Runner) Ext32Sockets() (*Table, error) {
 	sn32.Pool.Latency = pool.SwitchedLatency()
 	sn32.Topology.CXLOneWay = sn32.Pool.Latency.OneWay()
 
+	cfgB := r.opts.Sim
+	cfgB.Policy = core.PolicyPerfectBaseline
+	cfgS := r.opts.Sim
+	cfgS.Policy = core.PolicyStarNUMA
+	// 8 sockets: Algorithm 1's "half the system" threshold is 4.
+	cfgS8 := cfgS
+	cfgS8.Migration.PoolSharerThreshold = 4
+	cfgS32 := cfgS
+	cfgS32.Migration.PoolSharerThreshold = 16
+	b8 := variant{"baseline-8", base8, cfgB}
+	s8 := variant{"starnuma-8", sn8, cfgS8}
+	b32 := variant{"baseline-32", base32, cfgB}
+	s32 := variant{"starnuma-32", sn32, cfgS32}
+	if err := r.prefetch(specs, b8, s8, r.baselineVariant(), r.starnumaVariant(), b32, s32); err != nil {
+		return nil, err
+	}
+
 	var v8, v16, v32 []float64
 	for _, spec := range specs {
-		cfgB := r.opts.Sim
-		cfgB.Policy = core.PolicyPerfectBaseline
-		cfgS := r.opts.Sim
-		cfgS.Policy = core.PolicyStarNUMA
-
-		// 8 sockets: Algorithm 1's "half the system" threshold is 4.
-		cfgS8 := cfgS
-		cfgS8.Migration.PoolSharerThreshold = 4
-		rb8, err := r.run("baseline-8", base8, cfgB, spec)
+		rb8, err := r.runVariant(b8, spec)
 		if err != nil {
 			return nil, err
 		}
-		rs8, err := r.run("starnuma-8", sn8, cfgS8, spec)
+		rs8, err := r.runVariant(s8, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -133,13 +148,11 @@ func (r *Runner) Ext32Sockets() (*Table, error) {
 			return nil, err
 		}
 
-		cfgS32 := cfgS
-		cfgS32.Migration.PoolSharerThreshold = 16
-		rb32, err := r.run("baseline-32", base32, cfgB, spec)
+		rb32, err := r.runVariant(b32, spec)
 		if err != nil {
 			return nil, err
 		}
-		rs32, err := r.run("starnuma-32", sn32, cfgS32, spec)
+		rs32, err := r.runVariant(s32, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -169,6 +182,18 @@ func (r *Runner) ExtSoftwareTracking() (*Table, error) {
 		Notes:   "§III-D1: practical software sample sizes cannot identify pool candidates at a sufficient rate; monitoring everything in software is fault-prohibitive — hence hardware support",
 	}
 	fracs := []float64{0.05, 0.25, 1.0}
+	swVariants := make([]variant, len(fracs))
+	for i, frac := range fracs {
+		cfg := r.opts.Sim
+		cfg.Policy = core.PolicyStarNUMA
+		cfg.SoftwareTracking = core.DefaultSoftwareTracking()
+		cfg.SoftwareTracking.Enable = true
+		cfg.SoftwareTracking.SampleFrac = frac
+		swVariants[i] = variant{fmt.Sprintf("starnuma-sw%.2f", frac), core.StarNUMASystem(), cfg}
+	}
+	if err := r.prefetch(specs, append([]variant{r.baselineVariant(), r.starnumaVariant()}, swVariants...)...); err != nil {
+		return nil, err
+	}
 	var gms [][]float64 = make([][]float64, 1+len(fracs))
 	for _, spec := range specs {
 		rb, err := r.baseline(spec)
@@ -182,13 +207,8 @@ func (r *Runner) ExtSoftwareTracking() (*Table, error) {
 		row := []string{spec.Name, x(core.Speedup(hw, rb))}
 		gms[0] = append(gms[0], core.Speedup(hw, rb))
 		var lastFaults uint64
-		for i, frac := range fracs {
-			cfg := r.opts.Sim
-			cfg.Policy = core.PolicyStarNUMA
-			cfg.SoftwareTracking = core.DefaultSoftwareTracking()
-			cfg.SoftwareTracking.Enable = true
-			cfg.SoftwareTracking.SampleFrac = frac
-			res, err := r.run(fmt.Sprintf("starnuma-sw%.2f", frac), core.StarNUMASystem(), cfg, spec)
+		for i := range fracs {
+			res, err := r.runVariant(swVariants[i], spec)
 			if err != nil {
 				return nil, err
 			}
@@ -224,7 +244,25 @@ func (r *Runner) ExtDrift() (*Table, error) {
 		Columns: []string{"drift", "dynamic migration", "static oracle", "starnuma dynamic"},
 		Notes:   "Fig. 9 shows static ≥ dynamic for the paper's stable workloads; once page affinity drifts, dynamic migration wins and the oracle goes stale — quantifying when migration machinery earns its keep",
 	}
-	for _, drift := range []float64{0, 0.25, 0.5} {
+	// Reference: baseline with dynamic perfect-knowledge migration.
+	cfgB := r.opts.Sim
+	cfgB.Policy = core.PolicyPerfectBaseline
+	// Static oracle on the same architecture.
+	cfgS := r.opts.Sim
+	cfgS.Policy = core.PolicyNone
+	cfgS.StaticOracle = true
+	// StarNUMA's own policy on the pool-equipped system.
+	cfgD := r.opts.Sim
+	cfgD.Policy = core.PolicyStarNUMA
+
+	drifts := []float64{0, 0.25, 0.5}
+	type driftRow struct {
+		drift            float64
+		spec             workload.Spec
+		dyn, stat, starn variant
+	}
+	var rows []driftRow
+	for _, drift := range drifts {
 		spec, err := workload.ByName("POA", r.opts.Scale)
 		if err != nil {
 			return nil, err
@@ -235,31 +273,34 @@ func (r *Runner) ExtDrift() (*Table, error) {
 		// stale most of the time.
 		spec.DriftPeriod = 2
 		spec.Name = fmt.Sprintf("POA-drift%.0f%%", 100*drift)
-
-		// Reference: baseline with dynamic perfect-knowledge migration.
-		cfgB := r.opts.Sim
-		cfgB.Policy = core.PolicyPerfectBaseline
-		rb, err := r.run("drift-dynamic-"+spec.Name, core.BaselineSystem(), cfgB, spec)
+		rows = append(rows, driftRow{
+			drift: drift,
+			spec:  spec,
+			dyn:   variant{"drift-dynamic-" + spec.Name, core.BaselineSystem(), cfgB},
+			stat:  variant{"drift-static-" + spec.Name, core.BaselineSystem(), cfgS},
+			starn: variant{"drift-starnuma-" + spec.Name, core.StarNUMASystem(), cfgD},
+		})
+	}
+	for _, row := range rows {
+		if err := r.prefetch([]workload.Spec{row.spec}, row.dyn, row.stat, row.starn); err != nil {
+			return nil, err
+		}
+	}
+	for _, row := range rows {
+		rb, err := r.runVariant(row.dyn, row.spec)
 		if err != nil {
 			return nil, err
 		}
-		// Static oracle on the same architecture.
-		cfgS := r.opts.Sim
-		cfgS.Policy = core.PolicyNone
-		cfgS.StaticOracle = true
-		rs, err := r.run("drift-static-"+spec.Name, core.BaselineSystem(), cfgS, spec)
+		rs, err := r.runVariant(row.stat, row.spec)
 		if err != nil {
 			return nil, err
 		}
-		// StarNUMA's own policy on the pool-equipped system.
-		cfgD := r.opts.Sim
-		cfgD.Policy = core.PolicyStarNUMA
-		rd, err := r.run("drift-starnuma-"+spec.Name, core.StarNUMASystem(), cfgD, spec)
+		rd, err := r.runVariant(row.starn, row.spec)
 		if err != nil {
 			return nil, err
 		}
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%.0f%%", 100*drift),
+			fmt.Sprintf("%.0f%%", 100*row.drift),
 			x(1.0), x(core.Speedup(rs, rb)), x(core.Speedup(rd, rb)),
 		})
 	}

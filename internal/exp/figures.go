@@ -149,14 +149,18 @@ func (r *Runner) Table3() (*Table, error) {
 		Columns: []string{"workload", "IPC (16-socket)", "IPC (1-socket)", "MPKI", "paper IPC16", "paper IPC1", "paper MPKI"},
 		Notes:   "the 2-10x IPC gap between single- and 16-socket execution shows the NUMA penalty",
 	}
+	cfg1 := r.opts.Sim
+	cfg1.Policy = core.PolicyNone
+	single := variant{"single-socket", core.SingleSocketSystem(), cfg1}
+	if err := r.prefetch(specs, r.baselineVariant(), single); err != nil {
+		return nil, err
+	}
 	for _, spec := range specs {
 		rb, err := r.baseline(spec)
 		if err != nil {
 			return nil, err
 		}
-		cfg := r.opts.Sim
-		cfg.Policy = core.PolicyNone
-		r1, err := r.run("single-socket", core.SingleSocketSystem(), cfg, spec)
+		r1, err := r.runVariant(single, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -180,6 +184,13 @@ func (r *Runner) fig8data() ([]fig8row, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg0 := r.opts.Sim
+	cfg0.Policy = core.PolicyStarNUMA
+	cfg0.Tracker = tracker.T0
+	t0v := variant{"starnuma-t0", core.StarNUMASystem(), cfg0}
+	if err := r.prefetch(specs, r.baselineVariant(), r.starnumaVariant(), t0v); err != nil {
+		return nil, err
+	}
 	var rows []fig8row
 	for _, spec := range specs {
 		rb, err := r.baseline(spec)
@@ -190,10 +201,7 @@ func (r *Runner) fig8data() ([]fig8row, error) {
 		if err != nil {
 			return nil, err
 		}
-		cfg := r.opts.Sim
-		cfg.Policy = core.PolicyStarNUMA
-		cfg.Tracker = tracker.T0
-		r0, err := r.run("starnuma-t0", core.StarNUMASystem(), cfg, spec)
+		r0, err := r.runVariant(t0v, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -326,20 +334,25 @@ func (r *Runner) Fig9() (*Table, error) {
 		Columns: []string{"workload", "baseline+static", "starnuma+static", "starnuma+dynamic"},
 		Notes:   "static placement does not help the baseline (no good home for vagabond pages exists) but slightly beats dynamic StarNUMA (no migration overheads)",
 	}
+	cfgStatic := r.opts.Sim
+	cfgStatic.StaticOracle = true
+	cfgStatic.Policy = core.PolicyNone
+	baseStatic := variant{"baseline-static", core.BaselineSystem(), cfgStatic}
+	snStatic := variant{"starnuma-static", core.StarNUMASystem(), cfgStatic}
+	if err := r.prefetch(specs, r.baselineVariant(), r.starnumaVariant(), baseStatic, snStatic); err != nil {
+		return nil, err
+	}
 	var bs, ss, sd []float64
 	for _, spec := range specs {
 		rb, err := r.baseline(spec)
 		if err != nil {
 			return nil, err
 		}
-		cfg := r.opts.Sim
-		cfg.StaticOracle = true
-		cfg.Policy = core.PolicyNone
-		rbs, err := r.run("baseline-static", core.BaselineSystem(), cfg, spec)
+		rbs, err := r.runVariant(baseStatic, spec)
 		if err != nil {
 			return nil, err
 		}
-		rss, err := r.run("starnuma-static", core.StarNUMASystem(), cfg, spec)
+		rss, err := r.runVariant(snStatic, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -371,6 +384,12 @@ func (r *Runner) Fig10() (*Table, error) {
 	slow := core.StarNUMASystem()
 	slow.Pool.Latency = pool.SwitchedLatency()
 	slow.Topology.CXLOneWay = slow.Pool.Latency.OneWay()
+	cfgS := r.opts.Sim
+	cfgS.Policy = core.PolicyStarNUMA
+	switched := variant{"starnuma-switched", slow, cfgS}
+	if err := r.prefetch(specs, r.baselineVariant(), r.starnumaVariant(), switched); err != nil {
+		return nil, err
+	}
 	var fast, slowV []float64
 	for _, spec := range specs {
 		rb, err := r.baseline(spec)
@@ -381,9 +400,7 @@ func (r *Runner) Fig10() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		cfg := r.opts.Sim
-		cfg.Policy = core.PolicyStarNUMA
-		rs, err := r.run("starnuma-switched", slow, cfg, spec)
+		rs, err := r.runVariant(switched, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -418,6 +435,16 @@ func (r *Runner) Fig11() (*Table, error) {
 	twoX.NUMABandwidth = 6
 	half := core.StarNUMASystem()
 	half.Pool.LinkBW = half.Pool.LinkBW / 2
+	cfgB := r.opts.Sim
+	cfgB.Policy = core.PolicyPerfectBaseline
+	cfgS := r.opts.Sim
+	cfgS.Policy = core.PolicyStarNUMA
+	isoV := variant{"baseline-isobw", iso, cfgB}
+	twoXV := variant{"baseline-2xbw", twoX, cfgB}
+	halfV := variant{"starnuma-halfbw", half, cfgS}
+	if err := r.prefetch(specs, r.baselineVariant(), r.starnumaVariant(), isoV, twoXV, halfV); err != nil {
+		return nil, err
+	}
 
 	var vIso, v2x, vHalf, vSN []float64
 	for _, spec := range specs {
@@ -425,19 +452,15 @@ func (r *Runner) Fig11() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		cfgB := r.opts.Sim
-		cfgB.Policy = core.PolicyPerfectBaseline
-		rIso, err := r.run("baseline-isobw", iso, cfgB, spec)
+		rIso, err := r.runVariant(isoV, spec)
 		if err != nil {
 			return nil, err
 		}
-		r2x, err := r.run("baseline-2xbw", twoX, cfgB, spec)
+		r2x, err := r.runVariant(twoXV, spec)
 		if err != nil {
 			return nil, err
 		}
-		cfgS := r.opts.Sim
-		cfgS.Policy = core.PolicyStarNUMA
-		rHalf, err := r.run("starnuma-halfbw", half, cfgS, spec)
+		rHalf, err := r.runVariant(halfV, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -469,6 +492,12 @@ func (r *Runner) Fig12() (*Table, error) {
 	}
 	small := core.StarNUMASystem()
 	small.Pool.CapacityFraction = 1.0 / 17
+	cfgSm := r.opts.Sim
+	cfgSm.Policy = core.PolicyStarNUMA
+	smallV := variant{"starnuma-smallpool", small, cfgSm}
+	if err := r.prefetch(specs, r.baselineVariant(), r.starnumaVariant(), smallV); err != nil {
+		return nil, err
+	}
 	var vBig, vSmall []float64
 	for _, spec := range specs {
 		rb, err := r.baseline(spec)
@@ -479,9 +508,7 @@ func (r *Runner) Fig12() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		cfg := r.opts.Sim
-		cfg.Policy = core.PolicyStarNUMA
-		rSmall, err := r.run("starnuma-smallpool", small, cfg, spec)
+		rSmall, err := r.runVariant(smallV, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -525,11 +552,31 @@ func (r *Runner) Fig14() (*Table, error) {
 	sc3sysS.Pool.LinkBW *= 2
 	sc3sysS.Pool.Channels *= 2
 
+	var specs []workload.Spec
 	for _, wl := range fig14Workloads {
 		spec, err := workload.ByName(wl, r.opts.Scale)
 		if err != nil {
 			return nil, err
 		}
+		specs = append(specs, spec)
+	}
+	cfgB2 := sc2
+	cfgB2.Policy = core.PolicyPerfectBaseline
+	cfgS2 := sc2
+	cfgS2.Policy = core.PolicyStarNUMA
+	cfgB3 := r.opts.Sim
+	cfgB3.Policy = core.PolicyPerfectBaseline
+	cfgS3 := r.opts.Sim
+	cfgS3.Policy = core.PolicyStarNUMA
+	b2 := variant{"sc2-baseline", core.BaselineSystem(), cfgB2}
+	s2 := variant{"sc2-starnuma", core.StarNUMASystem(), cfgS2}
+	b3 := variant{"sc3-baseline", sc3sysB, cfgB3}
+	s3 := variant{"sc3-starnuma", sc3sysS, cfgS3}
+	if err := r.prefetch(specs, r.baselineVariant(), r.starnumaVariant(), b2, s2, b3, s3); err != nil {
+		return nil, err
+	}
+
+	for _, spec := range specs {
 		rb, err := r.baseline(spec)
 		if err != nil {
 			return nil, err
@@ -540,35 +587,27 @@ func (r *Runner) Fig14() (*Table, error) {
 		}
 		sc1 := core.Speedup(rs, rb)
 
-		cfgB2 := sc2
-		cfgB2.Policy = core.PolicyPerfectBaseline
-		rb2, err := r.run("sc2-baseline", core.BaselineSystem(), cfgB2, spec)
+		rb2, err := r.runVariant(b2, spec)
 		if err != nil {
 			return nil, err
 		}
-		cfgS2 := sc2
-		cfgS2.Policy = core.PolicyStarNUMA
-		rs2, err := r.run("sc2-starnuma", core.StarNUMASystem(), cfgS2, spec)
+		rs2, err := r.runVariant(s2, spec)
 		if err != nil {
 			return nil, err
 		}
 		v2 := core.Speedup(rs2, rb2)
 
-		cfgB3 := r.opts.Sim
-		cfgB3.Policy = core.PolicyPerfectBaseline
-		rb3, err := r.run("sc3-baseline", sc3sysB, cfgB3, spec)
+		rb3, err := r.runVariant(b3, spec)
 		if err != nil {
 			return nil, err
 		}
-		cfgS3 := r.opts.Sim
-		cfgS3.Policy = core.PolicyStarNUMA
-		rs3, err := r.run("sc3-starnuma", sc3sysS, cfgS3, spec)
+		rs3, err := r.runVariant(s3, spec)
 		if err != nil {
 			return nil, err
 		}
 		v3 := core.Speedup(rs3, rb3)
 
-		t.Rows = append(t.Rows, []string{wl, x(sc1), x(v2), x(v3)})
+		t.Rows = append(t.Rows, []string{spec.Name, x(sc1), x(v2), x(v3)})
 	}
 	return t, nil
 }

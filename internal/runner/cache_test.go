@@ -1,0 +1,189 @@
+package runner
+
+import (
+	"os"
+	"testing"
+
+	"starnuma/internal/core"
+)
+
+// TestCacheRoundTrip: a second runner over the same directory satisfies
+// an identical run from disk, with an identical Result.
+func TestCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	sys := core.StarNUMASystem()
+	cfg := tinySim()
+	cfg.Policy = core.PolicyStarNUMA
+	spec := tinySpec(t, "BFS")
+
+	cold := New(Config{Jobs: 2, CacheDir: dir})
+	want, err := cold.Run("t/BFS", sys, cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := cold.Metrics(); m.CacheHits != 0 || m.CacheMisses != 1 {
+		t.Fatalf("cold cache counters hits=%d misses=%d", m.CacheHits, m.CacheMisses)
+	}
+
+	warm := New(Config{Jobs: 2, CacheDir: dir})
+	got, err := warm.Run("t/BFS", sys, cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := warm.Metrics()
+	if m.CacheHits != 1 || m.CacheMisses != 0 {
+		t.Fatalf("warm cache counters hits=%d misses=%d", m.CacheHits, m.CacheMisses)
+	}
+	if m.WindowsDone != 0 {
+		t.Fatalf("cache hit still simulated %d windows", m.WindowsDone)
+	}
+	if m.CacheHitRate() != 1 {
+		t.Fatalf("hit rate = %v, want 1", m.CacheHitRate())
+	}
+	if w, g := mustJSON(t, want), mustJSON(t, got); string(w) != string(g) {
+		t.Fatalf("cached result differs:\ncold: %s\nwarm: %s", w, g)
+	}
+}
+
+// TestCacheKeySensitivity: any config change must change the content key.
+func TestCacheKeySensitivity(t *testing.T) {
+	c := newResultCache(t.TempDir(), "")
+	sys := core.StarNUMASystem()
+	cfg := tinySim()
+	spec := tinySpec(t, "BFS")
+
+	base, err := c.key(sys, cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.Phases++
+	sys2 := sys
+	sys2.CoresPerSocket++
+	spec2 := spec
+	spec2.Seed++
+	for name, got := range map[string]func() (string, error){
+		"sim":  func() (string, error) { return c.key(sys, cfg2, spec) },
+		"sys":  func() (string, error) { return c.key(sys2, cfg, spec) },
+		"spec": func() (string, error) { return c.key(sys, cfg, spec2) },
+		"ver":  func() (string, error) { return newResultCache(c.dir, "other").key(sys, cfg, spec) },
+	} {
+		k, err := got()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == base {
+			t.Errorf("%s change did not change the cache key", name)
+		}
+	}
+}
+
+// TestCacheVersionMismatch: an entry whose embedded version disagrees
+// with the runner's is ignored (recomputed), even if it sits at the
+// right path.
+func TestCacheVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	sys := core.BaselineSystem()
+	cfg := tinySim()
+	cfg.Policy = core.PolicyPerfectBaseline
+	spec := tinySpec(t, "TC")
+
+	// Simulate a stale entry: compute under version v2's key but store
+	// an envelope stamped v1 (as a hand-copied or pre-bump file would be).
+	r1 := New(Config{Jobs: 1, CacheDir: dir, Version: "v1"})
+	res, err := r1.Run("t/TC", sys, cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := newResultCache(dir, "v2")
+	k2, err := c2.key(sys, cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := newResultCache(dir, "v1").store(k2, res); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.load(k2); ok {
+		t.Fatal("entry with mismatched embedded version was served")
+	}
+
+	// End to end: a v2 runner recomputes rather than reading v1 state.
+	r2 := New(Config{Jobs: 1, CacheDir: dir, Version: "v2"})
+	if _, err := r2.Run("t/TC", sys, cfg, spec); err != nil {
+		t.Fatal(err)
+	}
+	if m := r2.Metrics(); m.CacheHits != 0 || m.CacheMisses != 1 {
+		t.Fatalf("version bump did not invalidate: hits=%d misses=%d", m.CacheHits, m.CacheMisses)
+	}
+}
+
+// TestCacheCorruptEntry: truncated or garbage cache files degrade to a
+// miss and get overwritten with a good entry.
+func TestCacheCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	sys := core.BaselineSystem()
+	cfg := tinySim()
+	cfg.Policy = core.PolicyPerfectBaseline
+	spec := tinySpec(t, "BFS")
+
+	c := newResultCache(dir, "")
+	key, err := c.key(sys, cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := New(Config{Jobs: 1}).Run("ref", sys, cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, content := range map[string][]byte{
+		"garbage":   []byte("not json at all"),
+		"truncated": mustJSON(t, cacheEntry{Version: SchemaVersion, Key: key, Result: want})[:40],
+		"empty":     nil,
+	} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(c.path(key), content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := c.load(key); ok {
+			t.Fatalf("%s: corrupt entry was served", name)
+		}
+		r := New(Config{Jobs: 2, CacheDir: dir})
+		got, err := r.Run("t/BFS", sys, cfg, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m := r.Metrics(); m.CacheMisses != 1 {
+			t.Fatalf("%s: corrupt entry not treated as miss", name)
+		}
+		if w, g := mustJSON(t, want), mustJSON(t, got); string(w) != string(g) {
+			t.Fatalf("%s: recomputed result differs", name)
+		}
+		// The recompute should have healed the entry.
+		if _, ok := c.load(key); !ok {
+			t.Fatalf("%s: entry not rewritten after recompute", name)
+		}
+	}
+}
+
+// TestCacheReadOnlyDirDegrades: an unwritable cache directory must not
+// fail runs — it just recomputes every time.
+func TestCacheReadOnlyDirDegrades(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("root ignores directory permissions")
+	}
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+
+	sys := core.BaselineSystem()
+	cfg := tinySim()
+	cfg.Policy = core.PolicyPerfectBaseline
+	if _, err := New(Config{Jobs: 1, CacheDir: dir}).Run("t", sys, cfg, tinySpec(t, "BFS")); err != nil {
+		t.Fatalf("read-only cache dir failed the run: %v", err)
+	}
+}

@@ -1,0 +1,46 @@
+package runner
+
+import (
+	"testing"
+
+	"starnuma/internal/core"
+	"starnuma/internal/tracker"
+)
+
+// TestDeterminismAcrossWorkerCounts runs the Fig. 8a variant set
+// (baseline, StarNUMA/T0, StarNUMA/T16) for one workload at 1, 2 and 8
+// workers and requires byte-identical serialized Results: worker count
+// must never influence measured numbers, only wall time.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	spec := tinySpec(t, "CC")
+
+	cfgB := tinySim()
+	cfgB.Policy = core.PolicyPerfectBaseline
+	cfgT16 := tinySim()
+	cfgT16.Policy = core.PolicyStarNUMA
+	cfgT0 := cfgT16
+	cfgT0.Tracker = tracker.T0
+
+	jobs := []Job{
+		{Label: "baseline/CC", Sys: core.BaselineSystem(), Cfg: cfgB, Spec: spec},
+		{Label: "starnuma-t0/CC", Sys: core.StarNUMASystem(), Cfg: cfgT0, Spec: spec},
+		{Label: "starnuma-t16/CC", Sys: core.StarNUMASystem(), Cfg: cfgT16, Spec: spec},
+	}
+
+	var ref []byte
+	for _, workers := range []int{1, 2, 8} {
+		results, err := New(Config{Jobs: workers}).RunAll(jobs)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", workers, err)
+		}
+		b := mustJSON(t, results)
+		if ref == nil {
+			ref = b
+			continue
+		}
+		if string(b) != string(ref) {
+			t.Fatalf("results at jobs=%d differ from jobs=1:\njobs=1: %s\njobs=%d: %s",
+				workers, ref, workers, b)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// JobKind distinguishes the scheduler's two job levels.
+type JobKind int
+
+const (
+	// KindRun is a suite-level job: one full workload×config pipeline.
+	KindRun JobKind = iota
+	// KindWindow is a step-C job: one checkpoint's timing window.
+	KindWindow
+)
+
+// String names the kind.
+func (k JobKind) String() string {
+	switch k {
+	case KindRun:
+		return "run"
+	case KindWindow:
+		return "window"
+	default:
+		return fmt.Sprintf("JobKind(%d)", int(k))
+	}
+}
+
+// JobInfo identifies a job to a Reporter.
+type JobInfo struct {
+	// Label names the job, e.g. "baseline/BFS" or "baseline/BFS window 3/8".
+	Label string
+	Kind  JobKind
+}
+
+// Reporter observes scheduler progress. Implementations must be safe
+// for concurrent use: jobs start and finish on worker goroutines.
+type Reporter interface {
+	// JobStarted fires when a job acquires a worker slot (or, for
+	// run-level jobs, when its pipeline begins).
+	JobStarted(info JobInfo)
+	// JobDone fires when a job completes. cacheHit is true when a
+	// run-level job was satisfied from the persistent result cache
+	// without simulating.
+	JobDone(info JobInfo, wall time.Duration, cacheHit bool)
+}
+
+// NopReporter discards all events.
+type NopReporter struct{}
+
+// JobStarted implements Reporter.
+func (NopReporter) JobStarted(JobInfo) {}
+
+// JobDone implements Reporter.
+func (NopReporter) JobDone(JobInfo, time.Duration, bool) {}
+
+// TerminalReporter prints live progress lines. Window-level jobs are
+// counted but not printed (a suite schedules hundreds); every run-level
+// completion emits one line with cumulative counters, so a watching
+// terminal sees the suite advance job by job.
+type TerminalReporter struct {
+	mu          sync.Mutex
+	w           io.Writer
+	start       time.Time
+	runsStarted int
+	runsDone    int
+	windowsDone int
+	cacheHits   int
+}
+
+// NewTerminalReporter writes progress to w (conventionally stderr, so
+// result tables on stdout stay clean).
+func NewTerminalReporter(w io.Writer) *TerminalReporter {
+	return &TerminalReporter{w: w, start: time.Now()}
+}
+
+// JobStarted implements Reporter.
+func (t *TerminalReporter) JobStarted(info JobInfo) {
+	if info.Kind != KindRun {
+		return
+	}
+	t.mu.Lock()
+	t.runsStarted++
+	t.mu.Unlock()
+}
+
+// JobDone implements Reporter.
+func (t *TerminalReporter) JobDone(info JobInfo, wall time.Duration, cacheHit bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if info.Kind == KindWindow {
+		t.windowsDone++
+		return
+	}
+	t.runsDone++
+	if cacheHit {
+		t.cacheHits++
+	}
+	tag := ""
+	if cacheHit {
+		tag = "  [cached]"
+	}
+	fmt.Fprintf(t.w, "[runner %6s] %3d runs (%d cached) · %4d windows · %s %v%s\n",
+		time.Since(t.start).Round(time.Second),
+		t.runsDone, t.cacheHits, t.windowsDone,
+		info.Label, wall.Round(time.Millisecond), tag)
+}

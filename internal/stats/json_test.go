@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"starnuma/internal/sim"
+)
+
+func TestMeanSkipsNonFinite(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{}, 0},
+		{[]float64{math.NaN()}, 0},
+		{[]float64{math.Inf(1), math.Inf(-1)}, 0},
+		{[]float64{1, 3}, 2},
+		{[]float64{1, math.NaN(), 3, math.Inf(1)}, 2},
+	}
+	for _, c := range cases {
+		got := Mean(c.in)
+		if got != c.want || math.IsNaN(got) {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAMATJSONRoundTrip(t *testing.T) {
+	a := NewAMAT()
+	var lat [NumAccessTypes]sim.Time
+	for i := range lat {
+		lat[i] = sim.Time(80+50*i) * sim.Nanosecond
+	}
+	a.SetUnloadedLatencies(lat)
+	a.Observe(Local, 90*sim.Nanosecond)
+	a.Observe(Local, 110*sim.Nanosecond)
+	a.Observe(Pool, 250*sim.Nanosecond)
+	a.Observe(BTPool, 400*sim.Nanosecond)
+
+	b, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := NewAMAT()
+	if err := json.Unmarshal(b, back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != a.Count() ||
+		back.Measured() != a.Measured() ||
+		back.Unloaded() != a.Unloaded() ||
+		back.Contention() != a.Contention() ||
+		back.Breakdown() != a.Breakdown() {
+		t.Fatalf("round trip lost state:\norig %+v\nback %+v", a, back)
+	}
+
+	// Without observations the override must still survive.
+	empty := NewAMAT()
+	empty.SetUnloadedLatencies(lat)
+	b, err = json.Marshal(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back = NewAMAT()
+	if err := json.Unmarshal(b, back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Unloaded() != empty.Unloaded() {
+		t.Fatalf("unloaded override lost: %v != %v", back.Unloaded(), empty.Unloaded())
+	}
+}

@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 
@@ -190,6 +191,41 @@ func (a *AMAT) Merge(other *AMAT) {
 	a.breakdown.Merge(other.breakdown)
 }
 
+// amatJSON is the serialized form of AMAT; the accumulator's fields are
+// unexported, so persistence (internal/runner's result cache) goes
+// through an explicit codec that round-trips losslessly.
+type amatJSON struct {
+	SumLatency sim.Time                  `json:"sum_latency"`
+	Count      uint64                    `json:"count"`
+	Breakdown  Breakdown                 `json:"breakdown"`
+	Unloaded   *[NumAccessTypes]sim.Time `json:"unloaded,omitempty"`
+}
+
+// MarshalJSON serializes the accumulator, including any unloaded-latency
+// override, so a decoded AMAT reports identical Measured/Unloaded/
+// Contention values.
+func (a *AMAT) MarshalJSON() ([]byte, error) {
+	return json.Marshal(amatJSON{
+		SumLatency: a.sumLatency,
+		Count:      a.count,
+		Breakdown:  a.breakdown,
+		Unloaded:   a.unloadedOverride,
+	})
+}
+
+// UnmarshalJSON restores an accumulator serialized by MarshalJSON.
+func (a *AMAT) UnmarshalJSON(b []byte) error {
+	var j amatJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	a.sumLatency = j.SumLatency
+	a.count = j.Count
+	a.breakdown = j.Breakdown
+	a.unloadedOverride = j.Unloaded
+	return nil
+}
+
 // GeoMean returns the geometric mean of vs, ignoring non-positive
 // entries; 0 for an empty slice.
 func GeoMean(vs []float64) float64 {
@@ -207,14 +243,22 @@ func GeoMean(vs []float64) float64 {
 	return math.Exp(sum / float64(n))
 }
 
-// Mean returns the arithmetic mean of vs (0 for empty).
+// Mean returns the arithmetic mean of the finite entries of vs, and 0
+// when there are none. Skipping NaN/Inf keeps degenerate measurements
+// (a window that retired nothing and produced no IPC sample) from
+// poisoning whole-run aggregates.
 func Mean(vs []float64) float64 {
-	if len(vs) == 0 {
+	var sum float64
+	n := 0
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		sum += v
+		n++
+	}
+	if n == 0 {
 		return 0
 	}
-	var sum float64
-	for _, v := range vs {
-		sum += v
-	}
-	return sum / float64(len(vs))
+	return sum / float64(n)
 }
