@@ -1,0 +1,34 @@
+// Command starnumavet mechanically enforces the simulator's
+// determinism and units contract (README.md "Static analysis").
+//
+// Standalone:
+//
+//	go run ./cmd/starnumavet ./...
+//
+// As a go vet tool (what CI runs):
+//
+//	go build -o /tmp/starnumavet ./cmd/starnumavet
+//	go vet -vettool=/tmp/starnumavet ./...
+//
+// Analyzers: detclock (no wall clock / env in simulation packages),
+// seedrand (RNGs flow from explicit config seeds), maporder (no
+// order-dependent effects under map iteration), cycleunits (no silent
+// crossing of sim.Time / sim.Cycles / link.GBps).
+package main
+
+import (
+	"starnuma/internal/lint/analysis"
+	"starnuma/internal/lint/cycleunits"
+	"starnuma/internal/lint/detclock"
+	"starnuma/internal/lint/maporder"
+	"starnuma/internal/lint/seedrand"
+)
+
+func main() {
+	analysis.Main(
+		detclock.Analyzer,
+		seedrand.Analyzer,
+		maporder.Analyzer,
+		cycleunits.Analyzer,
+	)
+}

@@ -181,7 +181,7 @@ type SimConfig struct {
 	// MigrationCostCycles is the per-page cost on the migration-
 	// initiating core (hardware-assisted TLB shootdown, §IV-C: 3k
 	// cycles).
-	MigrationCostCycles int
+	MigrationCostCycles sim.Cycles
 
 	// Replication enables the §V-F study: replicate hot, widely-shared,
 	// read-mostly pages into every socket instead of (or alongside)
@@ -219,7 +219,7 @@ type SoftwareTrackingConfig struct {
 	SampleFrac float64
 	// FaultPenaltyCycles is the minor-page-fault cost charged to the
 	// faulting core ("several thousand cycles", §III-D3).
-	FaultPenaltyCycles int
+	FaultPenaltyCycles sim.Cycles
 }
 
 // DefaultSoftwareTracking returns a typical OS sampling configuration:

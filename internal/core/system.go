@@ -289,10 +289,10 @@ func (ts *timingSystem) scheduleMigrations(chk Checkpoint) {
 		n = len(chk.Migrations)
 	}
 	ts.w.migrModeled = n
-	costPS := sim.Time(float64(ts.cfg.MigrationCostCycles) * ts.cyclePS)
+	costPS := ts.cfg.MigrationCostCycles.Time(ts.cyclePS)
 	for k := 0; k < n; k++ {
 		m := chk.Migrations[k]
-		startAt := sim.Time(k) * costPS
+		startAt := costPS.Scale(k)
 		ts.eng.At(startAt, func(now sim.Time) {
 			page := m.Page
 			if ts.tlbs != nil {
@@ -423,7 +423,7 @@ func (ts *timingSystem) issueAccess(cs *coreState, a workload.Access, issued sim
 	if ts.sampler != nil && ts.sampler.WouldFault(a.Page) {
 		ts.sampler.MarkFaulted(a.Page)
 		ts.w.pageFaults++
-		penalty := sim.Time(float64(ts.cfg.SoftwareTracking.FaultPenaltyCycles) * ts.cyclePS)
+		penalty := ts.cfg.SoftwareTracking.FaultPenaltyCycles.Time(ts.cyclePS)
 		ts.eng.At(now+penalty, func(sim.Time) { ts.issueAccessAfterWalk(cs, a, issued, record) })
 		return
 	}
@@ -628,7 +628,7 @@ func (ts *timingSystem) replicatedAccess(cs *coreState, a workload.Access,
 		}
 		ts.sendPath(now, socket, topology.NodeID(s), ts.sys.MessageBytes, func(sim.Time) {})
 	}
-	penalty := sim.Time(float64(ts.cfg.Replication.WritePenaltyCycles) * ts.cyclePS)
+	penalty := ts.cfg.Replication.WritePenaltyCycles.Time(ts.cyclePS)
 	at := ts.classify(socket, home)
 	ts.eng.At(now+penalty, func(start sim.Time) {
 		if home == socket {

@@ -1,0 +1,206 @@
+// Package analysis is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis model, sized for starnumavet.
+//
+// The repository is stdlib-only by policy (DESIGN.md §2), so rather
+// than vendoring x/tools this package provides the three pieces the
+// determinism lint suite needs:
+//
+//   - the Analyzer/Pass/Diagnostic contract analyzers are written
+//     against (this file);
+//   - a package loader driving `go list -export` + go/importer for
+//     standalone runs and test fixtures (load.go);
+//   - the `go vet -vettool` unitchecker protocol (unitchecker.go).
+//
+// Analyzers written against this package look exactly like x/tools
+// analyzers, so they can be ported wholesale if the dependency policy
+// ever changes.
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer is one static check. Name must be a valid identifier; it
+// doubles as the key in //starnumavet:allow directives.
+type Analyzer struct {
+	Name string
+	Doc  string
+
+	// Flags holds analyzer-specific flags, registered by the driver as
+	// -<name>.<flag> in multichecker mode.
+	Flags flag.FlagSet
+
+	Run func(*Pass) (interface{}, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass presents one package to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // excludes _test.go files; the contract covers shipped code only
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+
+	// allow maps filename -> directive line -> the analyzers permitted
+	// by a //starnumavet:allow directive there.
+	allow map[string]map[int]allowEntry
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos, unless an allow
+// directive covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	if p.Allowed(pos) {
+		return
+	}
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// AllowDirective is the comment prefix that suppresses a diagnostic:
+//
+//	//starnumavet:allow <analyzer> <reason>
+//
+// placed on the flagged line or the line immediately above it. A
+// directive without a reason is ignored — every exemption must say why
+// (the determinism contract in README.md explains the policy).
+const AllowDirective = "//starnumavet:allow"
+
+// allowEntry records the analyzers a directive line permits and
+// whether the directive stands alone on its line (in which case it
+// also covers the following line).
+type allowEntry struct {
+	analyzers  map[string]bool
+	standalone bool
+}
+
+// Allowed reports whether an allow directive for this pass's analyzer
+// covers pos: a directive trailing code covers that line only; a
+// directive alone on a line covers the line below it.
+func (p *Pass) Allowed(pos token.Pos) bool {
+	if p.allow == nil {
+		p.allow = buildAllowIndex(p.Fset, p.Files)
+	}
+	posn := p.Fset.Position(pos)
+	lines := p.allow[posn.Filename]
+	if e, ok := lines[posn.Line]; ok && e.analyzers[p.Analyzer.Name] {
+		return true
+	}
+	if e, ok := lines[posn.Line-1]; ok && e.standalone && e.analyzers[p.Analyzer.Name] {
+		return true
+	}
+	return false
+}
+
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) map[string]map[int]allowEntry {
+	idx := make(map[string]map[int]allowEntry)
+	for _, f := range files {
+		// Lines on which a non-comment token starts: a directive on such
+		// a line trails code and must not cover the next line.
+		codeLines := make(map[int]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case nil, *ast.Comment, *ast.CommentGroup:
+				return false
+			}
+			codeLines[fset.Position(n.Pos()).Line] = true
+			return true
+		})
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, AllowDirective)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					continue // no reason given: directive has no effect
+				}
+				posn := fset.Position(c.Pos())
+				lines := idx[posn.Filename]
+				if lines == nil {
+					lines = make(map[int]allowEntry)
+					idx[posn.Filename] = lines
+				}
+				e, ok := lines[posn.Line]
+				if !ok {
+					e = allowEntry{analyzers: make(map[string]bool), standalone: !codeLines[posn.Line]}
+				}
+				e.analyzers[fields[0]] = true
+				lines[posn.Line] = e
+			}
+		}
+	}
+	return idx
+}
+
+// runResult pairs an analyzer with its findings on one package.
+type runResult struct {
+	Analyzer    *Analyzer
+	Diagnostics []Diagnostic
+	Err         error
+}
+
+// runAnalyzers executes each analyzer over the package, filtering
+// _test.go files out of the pass (the determinism contract covers
+// shipped code; tests may time things and read the environment).
+func runAnalyzers(analyzers []*Analyzer, pkg *Package) []runResult {
+	var nonTest []*ast.File
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		nonTest = append(nonTest, f)
+	}
+	results := make([]runResult, len(analyzers))
+	for i, a := range analyzers {
+		res := &results[i]
+		res.Analyzer = a
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     nonTest,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Report:    func(d Diagnostic) { res.Diagnostics = append(res.Diagnostics, d) },
+		}
+		_, res.Err = a.Run(pass)
+	}
+	return results
+}
+
+// The loader fills this in; declared here so runAnalyzers can live next
+// to the Pass type it builds.
+type Package struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// NewInfo returns a types.Info with every map analyzers consult
+// allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

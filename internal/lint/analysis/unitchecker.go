@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Main is the entry point of a starnumavet-style checker binary. It
+// supports two modes:
+//
+//	starnumavet [packages]        standalone: load packages via go list
+//	                              (default ./...) and report findings
+//	go vet -vettool=starnumavet   build-system mode: the go command
+//	                              invokes the binary per compilation
+//	                              unit with a JSON .cfg file
+//
+// The build-system protocol (mirroring x/tools' unitchecker) is:
+//
+//	-V=full    print a version fingerprint for the build cache
+//	-flags     print supported flags as JSON
+//	unit.cfg   analyze the described compilation unit
+func Main(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	flag.Var(versionFlag{}, "V", "print version and exit (-V=full, used by go vet)")
+	printflags := flag.Bool("flags", false, "print analyzer flags in JSON (used by go vet)")
+	for _, a := range analyzers {
+		prefix := a.Name + "."
+		a.Flags.VisitAll(func(f *flag.Flag) {
+			flag.Var(f.Value, prefix+f.Name, f.Usage)
+		})
+	}
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] [package pattern ... | unit.cfg]\n\nAnalyzers:\n", progname)
+		for _, a := range analyzers {
+			doc := a.Doc
+			if i := strings.IndexByte(doc, '\n'); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, doc)
+		}
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	flag.Parse()
+	if *printflags {
+		printFlags()
+		os.Exit(0)
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runUnit(args[0], analyzers)
+		return
+	}
+	runStandalone(args, analyzers)
+}
+
+// versionFlag implements the -V=full protocol: the go command hashes
+// the printed line into its build cache key so results are invalidated
+// when the tool changes.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+
+func (versionFlag) Get() interface{} { return nil }
+
+func (versionFlag) String() string { return "" }
+
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (only -V=full)", s)
+	}
+	progname, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(progname)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("%s version devel buildID=%02x\n", progname, string(h.Sum(nil)))
+	os.Exit(0)
+	return nil
+}
+
+// printFlags describes the flag set as JSON, the answer go vet expects
+// from -flags.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// unitConfig describes one compilation unit, decoded from the .cfg file
+// the go command writes. Field names are fixed by the go vet protocol.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes the single compilation unit described by cfgFile and
+// exits: 0 on a clean pass, 1 with diagnostics on stderr otherwise.
+func runUnit(cfgFile string, analyzers []*Analyzer) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(unitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("cannot decode JSON config file %s: %v", cfgFile, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		log.Fatalf("package has no files: %s", cfg.ImportPath)
+	}
+
+	// The go command regards the vetx (facts) file as an output of this
+	// action; starnumavet's analyzers are fact-free, so an empty file
+	// satisfies the protocol.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			log.Fatalf("failed to write facts: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				os.Exit(0) // the compiler will report it
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	pkg, err := check(fset, cfg.ImportPath, files, cfg.PackageFile, cfg.ImportMap)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		log.Fatal(err)
+	}
+	os.Exit(report(runAnalyzers(analyzers, pkg), fset))
+}
+
+// runStandalone loads the given package patterns from the current
+// directory and analyzes them all.
+func runStandalone(patterns []string, analyzers []*Analyzer) {
+	pkgs, err := Load("", patterns...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		if code := report(runAnalyzers(analyzers, pkg), pkg.Fset); code != 0 {
+			exit = code
+		}
+	}
+	os.Exit(exit)
+}
+
+// report prints diagnostics (sorted by position so output is itself
+// deterministic) and returns the exit code.
+func report(results []runResult, fset *token.FileSet) int {
+	type flat struct {
+		posn token.Position
+		msg  string
+	}
+	var all []flat
+	exit := 0
+	for _, res := range results {
+		if res.Err != nil {
+			log.Println(res.Err)
+			exit = 1
+		}
+		for _, d := range res.Diagnostics {
+			all = append(all, flat{fset.Position(d.Pos),
+				fmt.Sprintf("%s [%s]", d.Message, res.Analyzer.Name)})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.posn.Filename != b.posn.Filename {
+			return a.posn.Filename < b.posn.Filename
+		}
+		if a.posn.Line != b.posn.Line {
+			return a.posn.Line < b.posn.Line
+		}
+		if a.posn.Column != b.posn.Column {
+			return a.posn.Column < b.posn.Column
+		}
+		return a.msg < b.msg
+	})
+	for _, d := range all {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.posn, d.msg)
+		exit = 1
+	}
+	return exit
+}

@@ -1,0 +1,17 @@
+package cycleunits
+
+import (
+	"path/filepath"
+	"testing"
+
+	"starnuma/internal/lint/linttest"
+)
+
+func TestCycleunits(t *testing.T) {
+	old := Analyzer.Flags.Lookup("types").Value.String()
+	if err := Analyzer.Flags.Set("types", "a.Time,a.Cycles,a.GBps"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { Analyzer.Flags.Set("types", old) })
+	linttest.Run(t, Analyzer, filepath.Join("testdata", "src", "a"))
+}

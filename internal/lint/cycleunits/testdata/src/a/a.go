@@ -1,0 +1,67 @@
+// Fixture for cycleunits: the test points the analyzer's -types flag
+// at this package's own unit types, mirroring sim.Time / sim.Cycles /
+// link.GBps.
+package a
+
+// Time is a duration in picoseconds.
+type Time int64
+
+// Cycles counts core clock ticks.
+type Cycles int64
+
+// GBps is a bandwidth.
+type GBps float64
+
+// Unit constants: built by constant multiplication, never flagged.
+const (
+	Picosecond  Time = 1
+	Nanosecond       = 1000 * Picosecond
+	Microsecond      = 1000 * Nanosecond
+)
+
+func directConversion(c Cycles) Time {
+	return Time(c) // want `direct conversion from a\.Cycles to a\.Time`
+}
+
+func bandwidthAsTime(b GBps) Time {
+	return Time(b) // want `direct conversion from a\.GBps to a\.Time`
+}
+
+// scalarCrossing is the sanctioned route: through a dimensionless
+// scalar with an explicit conversion factor.
+func scalarCrossing(c Cycles, periodPS float64) Time {
+	return Time(float64(c)*periodPS + 0.5)
+}
+
+func timeSquared(t, u Time) Time {
+	return t * u // want `a\.Time \* a\.Time has no physical meaning`
+}
+
+func scaleByConstant(t Time) Time {
+	return 2 * t // dimensionless constant scale: fine
+}
+
+func bareLiteral(t Time) Time {
+	return t + 100 // want `bare numeric literal added to a\.Time`
+}
+
+func bareLiteralSub(t Time) Time {
+	return t - 7 // want `bare numeric literal subtracted from a\.Time`
+}
+
+func unitConstant(t Time) Time {
+	return t + 100*Nanosecond // the literal's unit is spelled out: fine
+}
+
+func zeroIsUnitFree(t Time) Time {
+	return t + 0 // adding zero needs no unit
+}
+
+func justified(t, u Time) Time {
+	//starnumavet:allow cycleunits fixture demonstrates the reasoned escape hatch
+	return t * u
+}
+
+func plainArithmetic(x, y int64) int64 {
+	return x*y + 100 // untyped/plain scalars are unrestricted
+}

@@ -1,0 +1,31 @@
+package detclock
+
+import (
+	"path/filepath"
+	"testing"
+
+	"starnuma/internal/lint/linttest"
+)
+
+// scopeTo points the analyzer at the fixture package for the duration
+// of a test.
+func scopeTo(t *testing.T, pkgs string) {
+	t.Helper()
+	old := Analyzer.Flags.Lookup("packages").Value.String()
+	if err := Analyzer.Flags.Set("packages", pkgs); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { Analyzer.Flags.Set("packages", old) })
+}
+
+func TestDetclock(t *testing.T) {
+	scopeTo(t, "a")
+	linttest.Run(t, Analyzer, filepath.Join("testdata", "src", "a"))
+}
+
+// TestOutOfScope: the same calls in a package outside the scope list
+// (the runner/exp/cmd orchestration layer) produce no diagnostics.
+func TestOutOfScope(t *testing.T) {
+	scopeTo(t, "a")
+	linttest.Run(t, Analyzer, filepath.Join("testdata", "src", "b"))
+}

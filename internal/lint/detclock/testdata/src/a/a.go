@@ -1,0 +1,32 @@
+// Fixture for detclock: package path "a" is placed in the analyzer's
+// scope by the test.
+package a
+
+import (
+	"os"
+	"time"
+)
+
+func bad() {
+	_ = time.Now()               // want `time\.Now reads the wall clock`
+	_ = time.Since(time.Time{})  // want `time\.Since reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep depends on real time`
+	_ = time.After(time.Second)  // want `time\.After depends on real time`
+	_ = os.Getenv("STARNUMA")    // want `os\.Getenv reads the environment`
+	_, _ = os.LookupEnv("HOME")  // want `os\.LookupEnv reads the environment`
+}
+
+// Mentioning the function as a value is just as nondeterministic as
+// calling it.
+var clock = time.Now // want `time\.Now reads the wall clock`
+
+func justified() {
+	//starnumavet:allow detclock fixture demonstrates the reasoned escape hatch
+	_ = time.Now()
+}
+
+func fine(t time.Time) time.Duration {
+	d := 5 * time.Millisecond // unit constants are values, not clock reads
+	_ = t.Add(d)              // methods on time values are pure
+	return t.Sub(time.Time{})
+}

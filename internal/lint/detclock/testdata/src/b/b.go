@@ -1,0 +1,10 @@
+// Fixture for detclock scoping: package path "b" is outside the
+// analyzer's scope, so these clock reads are not reported (they model
+// orchestration code like internal/runner's timing reporter).
+package b
+
+import "time"
+
+func Elapsed(start time.Time) time.Duration { return time.Since(start) }
+
+func Stamp() time.Time { return time.Now() }

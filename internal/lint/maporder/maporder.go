@@ -1,0 +1,206 @@
+// Package maporder flags map iterations whose bodies are sensitive to
+// iteration order.
+//
+// Go randomizes map iteration, so a `range` over a map that appends to
+// a slice, writes to a writer/encoder, or accumulates floating-point
+// values produces run-to-run drift — the classic way a "deterministic"
+// simulator starts emitting unstable output during result assembly or
+// cache-key construction. Order-insensitive bodies (counting, integer
+// sums, min/max, writes into another map) are fine and not flagged.
+//
+// The canonical fix is to sort: either iterate sorted keys, or collect
+// into a slice and sort it before use. The analyzer recognizes the
+// collect-then-sort idiom (the appended slice is passed to sort.* or
+// slices.Sort* later in the same block) and stays quiet. Intentionally
+// order-dependent sites can be justified with
+//
+//	//starnumavet:allow maporder <reason>
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"starnuma/internal/lint/analysis"
+)
+
+// Analyzer is the maporder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag order-dependent effects inside map iteration\n\n" +
+		"Appending to slices, writing to writers/encoders, or accumulating\n" +
+		"floats while ranging over a map yields nondeterministic output\n" +
+		"unless the keys are sorted first.",
+	Run: run,
+}
+
+// writerMethods are method names whose invocation inside a map range
+// serializes data in iteration order.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "Encode": true,
+}
+
+// printFns are fmt functions that emit output in iteration order.
+var printFns = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// sortFns maps package path -> function names that establish an order
+// after collection, forgiving an append inside the loop.
+var sortFns = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			for i, stmt := range list {
+				for {
+					if ls, ok := stmt.(*ast.LabeledStmt); ok {
+						stmt = ls.Stmt
+						continue
+					}
+					break
+				}
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				if _, isMap := pass.TypesInfo.Types[rs.X].Type.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				checkRange(pass, rs, list[i+1:])
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkRange inspects one map-range body; rest is the statement tail of
+// the enclosing block, consulted for the collect-then-sort idiom.
+func checkRange(pass *analysis.Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, rs, n, rest)
+		case *ast.CallExpr:
+			checkCall(pass, rs, n)
+		}
+		return true
+	})
+}
+
+func checkAssign(pass *analysis.Pass, rs *ast.RangeStmt, as *ast.AssignStmt, rest []ast.Stmt) {
+	switch as.Tok.String() {
+	case "+=", "-=", "*=", "/=":
+		if b, ok := pass.TypesInfo.Types[as.Lhs[0]].Type.Underlying().(*types.Basic); ok &&
+			b.Info()&types.IsFloat != 0 {
+			pass.Reportf(as.Pos(), "floating-point accumulation over map iteration is order-dependent (rounding); iterate sorted keys, or justify with %s maporder <reason>",
+				analysis.AllowDirective)
+		}
+		return
+	}
+	// x = append(x, ...): order-dependent unless x is sorted afterwards.
+	for j, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass, call) {
+			continue
+		}
+		lhs := as.Lhs[0]
+		if len(as.Lhs) == len(as.Rhs) {
+			lhs = as.Lhs[j]
+		}
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if ok && sortedLater(pass, pass.TypesInfo.ObjectOf(id), rest) {
+			continue
+		}
+		name := "a slice"
+		if ok {
+			name = id.Name
+		}
+		pass.Reportf(call.Pos(), "appending to %s while ranging over a map records iteration order; sort the keys first (or sort %s before use in this block), or justify with %s maporder <reason>",
+			name, name, analysis.AllowDirective)
+	}
+}
+
+func checkCall(pass *analysis.Pass, rs *ast.RangeStmt, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if s := pass.TypesInfo.Selections[sel]; s != nil {
+		if s.Kind() == types.MethodVal && writerMethods[sel.Sel.Name] {
+			pass.Reportf(call.Pos(), "%s inside map iteration serializes in nondeterministic order; iterate sorted keys, or justify with %s maporder <reason>",
+				sel.Sel.Name, analysis.AllowDirective)
+		}
+		return
+	}
+	if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+		fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && printFns[fn.Name()] {
+		pass.Reportf(call.Pos(), "fmt.%s inside map iteration prints in nondeterministic order; iterate sorted keys, or justify with %s maporder <reason>",
+			fn.Name(), analysis.AllowDirective)
+	}
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// sortedLater reports whether obj is passed to a sort function in one
+// of the trailing statements of the block containing the range.
+func sortedLater(pass *analysis.Pass, obj types.Object, rest []ast.Stmt) bool {
+	if obj == nil {
+		return false
+	}
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 || found {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !sortFns[fn.Pkg().Path()][fn.Name()] {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok &&
+				pass.TypesInfo.ObjectOf(id) == obj {
+				found = true
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package maporder
+
+import (
+	"path/filepath"
+	"testing"
+
+	"starnuma/internal/lint/linttest"
+)
+
+func TestMaporder(t *testing.T) {
+	linttest.Run(t, Analyzer, filepath.Join("testdata", "src", "a"))
+}

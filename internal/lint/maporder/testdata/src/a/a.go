@@ -1,0 +1,94 @@
+// Fixture for maporder. The analyzer applies to every package, so no
+// scope flag is involved.
+package a
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `appending to keys while ranging over a map`
+	}
+	return keys
+}
+
+// appendThenSort is the canonical collect-then-sort idiom: the slice is
+// ordered before use, so the analyzer stays quiet.
+func appendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func appendThenSlicesStyle(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func printing(m map[string]int, b *strings.Builder) {
+	for k, v := range m {
+		fmt.Fprintf(b, "%s=%d\n", k, v) // want `fmt\.Fprintf inside map iteration`
+	}
+}
+
+func writing(m map[string]int, b *strings.Builder) {
+	for k := range m {
+		b.WriteString(k) // want `WriteString inside map iteration`
+	}
+}
+
+func floatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation over map iteration`
+	}
+	return sum
+}
+
+// intAccum is order-insensitive (integer addition is exact and
+// commutative): not flagged.
+func intAccum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// mapToMap rebuilds a map; map writes carry no order: not flagged.
+func mapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v + 1
+	}
+	return out
+}
+
+func justified(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//starnumavet:allow maporder fixture demonstrates the reasoned escape hatch
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sliceRange: ranging a slice is ordered; appends are fine.
+func sliceRange(s []string) []string {
+	var out []string
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,22 @@
+package seedrand
+
+import (
+	"path/filepath"
+	"testing"
+
+	"starnuma/internal/lint/linttest"
+)
+
+func scopeTo(t *testing.T, pkgs string) {
+	t.Helper()
+	old := Analyzer.Flags.Lookup("packages").Value.String()
+	if err := Analyzer.Flags.Set("packages", pkgs); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { Analyzer.Flags.Set("packages", old) })
+}
+
+func TestSeedrand(t *testing.T) {
+	scopeTo(t, "a")
+	linttest.Run(t, Analyzer, filepath.Join("testdata", "src", "a"))
+}

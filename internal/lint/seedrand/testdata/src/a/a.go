@@ -1,0 +1,34 @@
+// Fixture for seedrand: package path "a" is placed in the analyzer's
+// scope by the test.
+package a
+
+import "math/rand"
+
+func bad() {
+	_ = rand.Intn(16)    // want `math/rand\.Intn draws from the process-global source`
+	_ = rand.Float64()   // want `math/rand\.Float64 draws from the process-global source`
+	_ = rand.Perm(8)     // want `math/rand\.Perm draws from the process-global source`
+	rand.Seed(1)         // want `math/rand\.Seed draws from the process-global source`
+	rand.Shuffle(4, nil) // want `math/rand\.Shuffle draws from the process-global source`
+}
+
+func hardcoded() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `math/rand\.NewSource with a hard-coded seed`
+}
+
+type config struct{ Seed int64 }
+
+// good mirrors migrate's pattern: the RNG flows from an explicit
+// config seed, and instance methods are unrestricted.
+func good(cfg config) int {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	if r.Float64() < 0.5 {
+		return r.Intn(16)
+	}
+	return r.Perm(8)[0]
+}
+
+func justified() int {
+	//starnumavet:allow seedrand fixture demonstrates the reasoned escape hatch
+	return rand.Intn(2)
+}

@@ -3,6 +3,8 @@ package migrate
 import (
 	"fmt"
 	"sort"
+
+	"starnuma/internal/sim"
 )
 
 // ReplicationConfig controls the page replication study (§V-F): an
@@ -26,7 +28,7 @@ type ReplicationConfig struct {
 	// WritePenaltyCycles is the software coherence cost charged to every
 	// store that hits a replicated page (invalidating replicas via
 	// interprocessor interrupts and kernel handlers).
-	WritePenaltyCycles int
+	WritePenaltyCycles sim.Cycles
 }
 
 // DefaultReplicationConfig mirrors the paper's framing: replicate

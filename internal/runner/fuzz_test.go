@@ -1,0 +1,99 @@
+package runner
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"starnuma/internal/core"
+	"starnuma/internal/stats"
+	"starnuma/internal/workload"
+)
+
+// fuzzSeedEntry builds a realistic on-disk cache entry from a real
+// (tiny) simulation, the same shape cache_test's round-trip covers.
+func fuzzSeedEntry(f *testing.F) []byte {
+	f.Helper()
+	spec, err := workload.ByName("BFS", 0.05)
+	if err != nil {
+		f.Fatal(err)
+	}
+	cfg := core.DefaultSim()
+	cfg.Phases = 1
+	cfg.PhaseInstr = 50_000
+	cfg.TimedInstr = 5_000
+	cfg.WarmupInstr = 500
+	res, err := core.Run(core.StarNUMASystem(), cfg, spec)
+	if err != nil {
+		f.Fatal(err)
+	}
+	b, err := json.Marshal(cacheEntry{Version: SchemaVersion, Key: "seed", Result: res})
+	if err != nil {
+		f.Fatal(err)
+	}
+	return b
+}
+
+// FuzzResultRoundTrip guards the result-cache JSON codec: decoding
+// arbitrary bytes must never panic (the cache treats corrupt entries as
+// misses, so any byte string can reach the decoder), and for entries
+// that do decode, decode(encode(r)) == r — a lossy codec would let a
+// warm cache return results that differ from a cold run and break the
+// bit-reproducibility contract.
+func FuzzResultRoundTrip(f *testing.F) {
+	seed := fuzzSeedEntry(f)
+	f.Add(seed)
+	// Truncated, corrupted, and hand-written variants.
+	f.Add(seed[:len(seed)/2])
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"version":"bogus","key":"k","result":null}`))
+	f.Add([]byte(`{"version":"` + SchemaVersion + `","key":"k","result":{"IPC":1e308,"MPKI":-1}}`))
+	f.Add([]byte(`{"result":{"AMAT":{"Mean":0.5}}}`))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var e cacheEntry
+		if err := json.Unmarshal(data, &e); err != nil {
+			return // corrupt input: a cache miss, never a panic
+		}
+		b, err := json.Marshal(e)
+		if err != nil {
+			t.Fatalf("decoded entry failed to re-encode: %v", err)
+		}
+		var e2 cacheEntry
+		if err := json.Unmarshal(b, &e2); err != nil {
+			t.Fatalf("re-encoded entry failed to decode: %v\n%s", err, b)
+		}
+		if !reflect.DeepEqual(e, e2) {
+			t.Fatalf("decode(encode(r)) != r:\n r: %+v\n r2: %+v", e, e2)
+		}
+	})
+}
+
+// TestFuzzSeedDecodes pins the seed corpus construction: the realistic
+// entry must round-trip exactly and load through the cache's own path.
+func TestFuzzSeedDecodes(t *testing.T) {
+	spec, err := workload.ByName("BFS", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinySim()
+	res, err := core.Run(core.StarNUMASystem(), cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AMAT == nil {
+		t.Fatal("tiny run produced no AMAT; seed entry would not exercise the nested codec")
+	}
+	var restored stats.AMAT
+	b, err := json.Marshal(res.AMAT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &restored); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*res.AMAT, restored) {
+		t.Fatalf("AMAT round-trip drifted:\n want %+v\n got %+v", *res.AMAT, restored)
+	}
+}

@@ -1,0 +1,22 @@
+package sim
+
+// Cycles counts core clock ticks. It is deliberately a distinct type
+// from Time: a cycle count is dimensionless work whose duration depends
+// on the clock, and the cycleunits analyzer (internal/lint/cycleunits)
+// rejects direct Cycles<->Time conversions so latency-model refactors
+// cannot silently treat ticks as picoseconds.
+type Cycles int64
+
+// Time converts the cycle count to simulated time at the given clock
+// period in picoseconds (SystemConfig.CyclePS), rounding to the nearest
+// picosecond. This is the one sanctioned Cycles->Time crossing.
+func (c Cycles) Time(periodPS float64) Time {
+	return Time(float64(c)*periodPS + 0.5)
+}
+
+// Scale returns t repeated n times. Multiplying two Times is rejected
+// by the cycleunits analyzer (time² is meaningless), so scaling a
+// duration by a dimensionless count goes through this helper.
+func (t Time) Scale(n int) Time {
+	return t * Time(n) //starnumavet:allow cycleunits the sanctioned scalar-multiplication helper
+}
