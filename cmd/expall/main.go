@@ -5,6 +5,7 @@
 //
 //	expall [-quick] [-scale 0.25] [-jobs N] [-o results.txt]
 //	       [-nocache] [-cache DIR] [-benchjson BENCH_expall.json]
+//	       [-metrics manifest.json]
 //
 // Experiments execute on internal/runner's parallel scheduler (-jobs
 // worker slots, default GOMAXPROCS) with a persistent result cache
@@ -20,7 +21,6 @@ import (
 	"time"
 
 	"starnuma/internal/exp"
-	"starnuma/internal/runner"
 )
 
 // benchExperiment is one per-experiment timing record of -benchjson.
@@ -44,32 +44,14 @@ type benchReport struct {
 
 func main() {
 	var (
-		quick     = flag.Bool("quick", false, "use the quick (small) configuration")
-		scale     = flag.Float64("scale", 0, "override workload footprint scale")
-		jobs      = flag.Int("jobs", 0, "parallel worker slots (0 = GOMAXPROCS)")
 		out       = flag.String("o", "", "also write results to this file")
 		format    = flag.String("format", "text", "output format: text, csv, md")
-		cacheDir  = flag.String("cache", runner.DefaultCacheDir, "result cache directory")
-		noCache   = flag.Bool("nocache", false, "disable the persistent result cache")
-		progress  = flag.Bool("progress", true, "report job progress on stderr")
 		benchJSON = flag.String("benchjson", "", "write suite/per-experiment timings to this JSON file")
 	)
+	cli := exp.AddCLIFlags(flag.CommandLine, true)
 	flag.Parse()
 
-	opts := exp.Default()
-	if *quick {
-		opts = exp.Quick()
-	}
-	if *scale > 0 {
-		opts.Scale = *scale
-	}
-	opts.Jobs = *jobs
-	if !*noCache {
-		opts.CacheDir = *cacheDir
-	}
-	if *progress {
-		opts.Reporter = runner.NewTerminalReporter(os.Stderr)
-	}
+	opts := cli.Options(os.Stderr)
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -110,10 +92,16 @@ func main() {
 	fmt.Fprintf(w, "completed in %v (%d runs, %d windows, cache %d hit / %d miss)\n",
 		elapsed.Round(time.Second), m.RunsDone, m.WindowsDone, m.CacheHits, m.CacheMisses)
 
+	if cli.Metrics != "" {
+		if err := r.WriteManifest(cli.Metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "expall: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *benchJSON != "" {
 		report := benchReport{
 			Timestamp:    start.UTC().Format(time.RFC3339),
-			Quick:        *quick,
+			Quick:        cli.Quick,
 			Scale:        opts.Scale,
 			Jobs:         r.Exec().Jobs(),
 			SuiteSeconds: elapsed.Seconds(),

@@ -1,0 +1,67 @@
+// Command runstat inspects the instrumentation attached to StarNUMA
+// simulation results (core.Result.Metrics, collected with -metrics).
+//
+// Usage:
+//
+//	runstat dump FILE           # full metric dump, one section per run
+//	runstat diff FILE1 FILE2    # metric-by-metric comparison
+//	runstat top [-n N] FILE     # hottest interconnect links
+//
+// FILE may be a run manifest written by `starnuma -metrics` / `expall
+// -metrics`, a result-cache entry (.starnuma-cache/*.json), or a bare
+// JSON-encoded core.Result. All output is deterministic: metrics print
+// in sorted name order, so two identical runs diff empty.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: runstat dump FILE | runstat diff FILE1 FILE2 | runstat top [-n N] FILE")
+	os.Exit(2)
+}
+
+func load(path string) []namedSnapshot {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "runstat: %v\n", err)
+		os.Exit(1)
+	}
+	runs, err := decodeRuns(b, path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "runstat: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return runs
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch cmd, args := os.Args[1], os.Args[2:]; cmd {
+	case "dump":
+		if len(args) != 1 {
+			usage()
+		}
+		fmt.Print(dumpText(load(args[0])))
+	case "diff":
+		if len(args) != 2 {
+			usage()
+		}
+		fmt.Print(diffText(combined(load(args[0])), combined(load(args[1]))))
+	case "top":
+		fs := flag.NewFlagSet("top", flag.ExitOnError)
+		n := fs.Int("n", 10, "number of links to show")
+		fs.Parse(args)
+		if fs.NArg() != 1 {
+			usage()
+		}
+		fmt.Print(topText(combined(load(fs.Arg(0))), *n))
+	default:
+		usage()
+	}
+}

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	starnuma -exp fig8a [-quick] [-scale 0.25] [-phases 6] [-workloads BFS,TC]
+//	starnuma -exp fig8a -metrics manifest.json   # collect instrumentation
 //	starnuma -list
 //
 // Experiment identifiers follow the paper's figure/table numbers; see
@@ -14,32 +15,23 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"starnuma/internal/exp"
-	"starnuma/internal/runner"
 )
 
 func main() {
 	var (
-		expID     = flag.String("exp", "", "experiment to run (e.g. fig8a, tab4); see -list")
-		list      = flag.Bool("list", false, "list experiment identifiers and exit")
-		quick     = flag.Bool("quick", false, "use the quick (small) configuration")
-		scale     = flag.Float64("scale", 0, "override workload footprint scale")
-		phases    = flag.Int("phases", 0, "override number of phases")
-		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all)")
-		format    = flag.String("format", "text", "output format: text, csv, md")
-		chart     = flag.Int("chart", -1, "render the given column index as ASCII bars instead")
-		jobs      = flag.Int("jobs", 0, "parallel worker slots (0 = GOMAXPROCS)")
-		cacheDir  = flag.String("cache", runner.DefaultCacheDir, "result cache directory")
-		noCache   = flag.Bool("nocache", false, "disable the persistent result cache")
-		progress  = flag.Bool("progress", false, "report job progress on stderr")
+		expID  = flag.String("exp", "", "experiment to run (e.g. fig8a, tab4); see -list")
+		list   = flag.Bool("list", false, "list experiment identifiers and exit")
+		format = flag.String("format", "text", "output format: text, csv, md")
+		chart  = flag.Int("chart", -1, "render the given column index as ASCII bars instead")
 	)
+	cli := exp.AddCLIFlags(flag.CommandLine, false)
 	flag.Parse()
 
 	if *list {
-		for _, id := range exp.IDs() {
-			fmt.Println(id)
+		for _, e := range exp.Experiments() {
+			fmt.Printf("%-10s %-12s %s\n", e.ID, e.PaperRef, e.Title)
 		}
 		return
 	}
@@ -48,28 +40,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := exp.Default()
-	if *quick {
-		opts = exp.Quick()
-	}
-	if *scale > 0 {
-		opts.Scale = *scale
-	}
-	if *phases > 0 {
-		opts.Sim.Phases = *phases
-	}
-	if *workloads != "" {
-		opts.Workloads = strings.Split(*workloads, ",")
-	}
-	opts.Jobs = *jobs
-	if !*noCache {
-		opts.CacheDir = *cacheDir
-	}
-	if *progress {
-		opts.Reporter = runner.NewTerminalReporter(os.Stderr)
-	}
-
-	table, err := exp.NewRunner(opts).ByID(*expID)
+	r := exp.NewRunner(cli.Options(os.Stderr))
+	table, err := r.ByID(*expID)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "starnuma: %v\n", err)
 		os.Exit(1)
@@ -85,4 +57,10 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(out)
+	if cli.Metrics != "" {
+		if err := r.WriteManifest(cli.Metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "starnuma: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }

@@ -203,6 +203,14 @@ type SimConfig struct {
 	// paper's motivation for hardware tracking support.
 	SoftwareTracking SoftwareTrackingConfig
 
+	// CollectMetrics enables the instrumentation registry
+	// (internal/metrics): scheduler, link, memory, cache, coherence,
+	// TLB and migration counters harvested per phase and attached to
+	// Result.Metrics. Collection is passive — simulation results are
+	// bit-identical with it on or off — but it costs time and memory,
+	// so it is off by default.
+	CollectMetrics bool
+
 	// ModelTLB enables the translation subsystem: per-core TLBs, the
 	// shared TLB directory for targeted shootdowns (§III-D3), and
 	// page-walk penalties for shootdown-invalidated translations.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"starnuma/internal/metrics"
 	"starnuma/internal/stats"
 	"starnuma/internal/topology"
 	"starnuma/internal/workload"
@@ -85,6 +86,7 @@ func (p *Plan) NewResult() *Result {
 		AMAT:           stats.NewAMAT(),
 		MigrStats:      p.tr.MigrStats,
 		TrackerFlushes: p.tr.TrackerFlushes,
+		Metrics:        p.tr.Metrics.Clone(),
 	}
 	topo := topology.New(p.sys.Topology)
 	res.AMAT.SetUnloadedLatencies(unloadedLatencies(topo,
@@ -116,6 +118,12 @@ func (r *Result) MergeWindow(w Window) {
 	r.ReplicaReads += w.stats.replicaReads
 	r.ReplicaWriteStalls += w.stats.replicaWriteStalls
 	r.PageFaults += w.stats.pageFaults
+	if w.stats.met != nil {
+		if r.Metrics == nil {
+			r.Metrics = &metrics.Snapshot{}
+		}
+		r.Metrics.Merge(w.stats.met)
+	}
 }
 
 // Assemble merges the windows in slice order and computes the derived

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"starnuma/internal/coherence"
+	"starnuma/internal/metrics"
 	"starnuma/internal/migrate"
 	"starnuma/internal/sim"
 	"starnuma/internal/stats"
@@ -54,6 +55,11 @@ type Result struct {
 	// Instructions / Misses are post-warmup totals.
 	Instructions uint64
 	Misses       uint64
+
+	// Metrics is the merged instrumentation snapshot (step B plus every
+	// window in checkpoint order); nil unless SimConfig.CollectMetrics.
+	// It rides through the runner's result cache like every other field.
+	Metrics *metrics.Snapshot `json:",omitempty"`
 
 	// ipcs accumulates per-core post-warmup IPC samples across merged
 	// windows, in checkpoint order; Plan.Assemble reduces them to IPC.

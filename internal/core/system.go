@@ -7,6 +7,7 @@ import (
 	"starnuma/internal/coherence"
 	"starnuma/internal/link"
 	"starnuma/internal/memdev"
+	"starnuma/internal/metrics"
 	"starnuma/internal/sim"
 	"starnuma/internal/stats"
 	"starnuma/internal/tlb"
@@ -61,6 +62,9 @@ type windowStats struct {
 	replicaWriteStalls uint64
 	// software-tracking study: minor page faults taken in the window
 	pageFaults uint64
+	// met is the window's instrumentation snapshot; nil unless
+	// SimConfig.CollectMetrics.
+	met *metrics.Snapshot
 }
 
 // timingSystem wires the substrate models together for one window.
@@ -92,6 +96,11 @@ type timingSystem struct {
 	chargeTracker bool
 	annexCount    []uint64
 
+	// met is the window's instrumentation registry; nil (disabled)
+	// unless cfg.CollectMetrics. All writes are nil-safe no-ops when
+	// disabled, and collection never alters timing.
+	met *metrics.Registry
+
 	w windowStats
 }
 
@@ -111,6 +120,10 @@ func newTimingSystem(sys SystemConfig, cfg SimConfig, gen AccessSource,
 		mlp:           gen.Spec().MLP,
 		annexCount:    make([]uint64, topo.Sockets()),
 		chargeTracker: cfg.Policy == PolicyStarNUMA && !cfg.StaticOracle,
+	}
+	if cfg.CollectMetrics {
+		ts.met = metrics.New()
+		ts.eng.SetMetrics(ts.met)
 	}
 	localMissCycles := float64(ts.localUnloaded()) / ts.cyclePS
 	ts.ipc0 = gen.Spec().ZeroLoadIPC(localMissCycles)
@@ -227,7 +240,7 @@ func (ts *timingSystem) sendHops(at sim.Time, hops []int, bytes int, then func(s
 		ts.sendHops(delivered, hops[1:], bytes, then)
 	}
 	if at > ts.eng.Now() {
-		ts.eng.At(at, send)
+		ts.eng.AtKind(at, "send", send)
 	} else {
 		send(ts.eng.Now())
 	}
@@ -261,7 +274,7 @@ func (ts *timingSystem) memAccess(at sim.Time, node topology.NodeID, addr uint64
 		then(done)
 	}
 	if at > ts.eng.Now() {
-		ts.eng.At(at, access)
+		ts.eng.AtKind(at, "mem", access)
 	} else {
 		access(ts.eng.Now())
 	}
@@ -272,7 +285,7 @@ func (ts *timingSystem) start(chk Checkpoint) {
 	ts.scheduleMigrations(chk)
 	for _, cs := range ts.cores {
 		cs := cs
-		ts.eng.At(0, func(sim.Time) { ts.tryIssue(cs) })
+		ts.eng.AtKind(0, "start", func(sim.Time) { ts.tryIssue(cs) })
 	}
 }
 
@@ -293,7 +306,7 @@ func (ts *timingSystem) scheduleMigrations(chk Checkpoint) {
 	for k := 0; k < n; k++ {
 		m := chk.Migrations[k]
 		startAt := costPS.Scale(k)
-		ts.eng.At(startAt, func(now sim.Time) {
+		ts.eng.AtKind(startAt, "migrate", func(now sim.Time) {
 			page := m.Page
 			if ts.tlbs != nil {
 				// Hardware-assisted targeted shootdown (§III-D3): only
@@ -318,7 +331,7 @@ func (ts *timingSystem) scheduleMigrations(chk Checkpoint) {
 					}
 				}
 				if arr > ts.eng.Now() {
-					ts.eng.At(arr, fire)
+					ts.eng.AtKind(arr, "migrate_land", fire)
 				} else {
 					fire(ts.eng.Now())
 				}
@@ -367,7 +380,7 @@ func (ts *timingSystem) tryIssue(cs *coreState) {
 			if !cs.hasWake || cs.wakeAt > cs.compute {
 				cs.hasWake = true
 				cs.wakeAt = cs.compute
-				ts.eng.At(cs.compute, func(sim.Time) {
+				ts.eng.AtKind(cs.compute, "wake", func(sim.Time) {
 					cs.hasWake = false
 					ts.tryIssue(cs)
 				})
@@ -424,7 +437,7 @@ func (ts *timingSystem) issueAccess(cs *coreState, a workload.Access, issued sim
 		ts.sampler.MarkFaulted(a.Page)
 		ts.w.pageFaults++
 		penalty := ts.cfg.SoftwareTracking.FaultPenaltyCycles.Time(ts.cyclePS)
-		ts.eng.At(now+penalty, func(sim.Time) { ts.issueAccessAfterWalk(cs, a, issued, record) })
+		ts.eng.AtKind(now+penalty, "fault", func(sim.Time) { ts.issueAccessAfterWalk(cs, a, issued, record) })
 		return
 	}
 	// Translation: steady-state TLB behaviour is part of the measured
@@ -434,7 +447,7 @@ func (ts *timingSystem) issueAccess(cs *coreState, a workload.Access, issued sim
 	if ts.tlbs != nil {
 		if _, shot := ts.tlbs.Access(cs.id, a.Page); shot && ts.cfg.PageWalkPenalty > 0 {
 			delay := ts.cfg.PageWalkPenalty
-			ts.eng.At(now+delay, func(sim.Time) { ts.issueAccessAfterWalk(cs, a, issued, record) })
+			ts.eng.AtKind(now+delay, "walk", func(sim.Time) { ts.issueAccessAfterWalk(cs, a, issued, record) })
 			return
 		}
 	}
@@ -521,7 +534,7 @@ func (ts *timingSystem) issueAccessAfterWalk(cs *coreState, a workload.Access, i
 			ts.tryIssue(cs)
 		}
 		if done > ts.eng.Now() {
-			ts.eng.At(done, fin)
+			ts.eng.AtKind(done, "complete", fin)
 		} else {
 			fin(ts.eng.Now())
 		}
@@ -604,7 +617,7 @@ func (ts *timingSystem) replicatedAccess(cs *coreState, a workload.Access,
 			ts.tryIssue(cs)
 		}
 		if done > ts.eng.Now() {
-			ts.eng.At(done, step)
+			ts.eng.AtKind(done, "complete", step)
 		} else {
 			step(ts.eng.Now())
 		}
@@ -630,7 +643,7 @@ func (ts *timingSystem) replicatedAccess(cs *coreState, a workload.Access,
 	}
 	penalty := ts.cfg.Replication.WritePenaltyCycles.Time(ts.cyclePS)
 	at := ts.classify(socket, home)
-	ts.eng.At(now+penalty, func(start sim.Time) {
+	ts.eng.AtKind(now+penalty, "replica", func(start sim.Time) {
 		if home == socket {
 			ts.memAccess(start, home, addr, func(done sim.Time) { fin(done, at) })
 			return
@@ -677,6 +690,10 @@ func runWindow(sys SystemConfig, cfg SimConfig, gen AccessSource,
 	ts.w.dir = ts.dir.Stats()
 	if ts.tlbs != nil {
 		ts.w.tlb = ts.tlbs.Stats()
+	}
+	if ts.met != nil {
+		ts.harvest(chk.Phase)
+		ts.w.met = ts.met.Snapshot()
 	}
 	return ts.w
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"starnuma/internal/metrics"
 	"starnuma/internal/migrate"
 	"starnuma/internal/topology"
 	"starnuma/internal/tracker"
@@ -32,6 +33,10 @@ type TraceResult struct {
 	MigrStats migrate.Stats
 	// TrackerFlushes is the metadata write traffic the tracker generated.
 	TrackerFlushes uint64
+	// Metrics is step B's instrumentation snapshot (per-phase migration
+	// decision series, pool residency); nil unless
+	// SimConfig.CollectMetrics.
+	Metrics *metrics.Snapshot
 }
 
 // phaseAccesses returns how many misses one core generates in a step-B
@@ -124,6 +129,10 @@ func TraceSimulate(sys SystemConfig, cfg SimConfig, gen AccessSource) (*TraceRes
 	}
 
 	res := &TraceResult{Totals: totals}
+	var reg *metrics.Registry
+	if cfg.CollectMetrics {
+		reg = metrics.New()
+	}
 
 	// Checkpoint 0: nothing placed yet, no in-flight migrations; pages
 	// are first-touched during the phase itself.
@@ -165,7 +174,24 @@ func TraceSimulate(sys SystemConfig, cfg SimConfig, gen AccessSource) (*TraceRes
 		// `home` so subsequent trace phases see the post-migration state.
 		snap := make([]topology.NodeID, pages)
 		copy(snap, home)
+		before := policyStats(policy)
 		pending := policy.Decide(phase, st)
+		if reg != nil {
+			after := policyStats(policy)
+			t := int64(phase)
+			reg.Point("migrate/migrations", t, float64(len(pending)))
+			reg.Point("migrate/pingpong_skips", t, float64(after.PingPongSkips-before.PingPongSkips))
+			reg.Point("migrate/evictions", t, float64(after.Evictions-before.Evictions))
+			if topo.HasPool() {
+				resident := 0
+				for _, h := range home {
+					if h == topo.PoolNode() {
+						resident++
+					}
+				}
+				reg.Point("pool/resident_pages", t, float64(resident))
+			}
+		}
 		res.Checkpoints = append(res.Checkpoints, Checkpoint{
 			Phase:      phase + 1,
 			PageHome:   snap,
@@ -178,13 +204,28 @@ func TraceSimulate(sys SystemConfig, cfg SimConfig, gen AccessSource) (*TraceRes
 	}
 	res.FinalHome = home
 	res.TrackerFlushes = tbl.Flushes()
-	switch p := policy.(type) {
-	case *migrate.StarNUMA:
-		res.MigrStats = p.Stats()
-	case *migrate.PerfectBaseline:
-		res.MigrStats = p.Stats()
+	res.MigrStats = policyStats(policy)
+	if reg != nil {
+		reg.Add("tracker/flushes", res.TrackerFlushes)
+		reg.Add("migrate/pages_to_pool", res.MigrStats.PagesToPool)
+		reg.Add("migrate/pages_to_socket", res.MigrStats.PagesToSocket)
+		reg.Add("migrate/pingpong_skips", res.MigrStats.PingPongSkips)
+		reg.Add("migrate/evictions", res.MigrStats.Evictions)
+		res.Metrics = reg.Snapshot()
 	}
 	return res, nil
+}
+
+// policyStats extracts the migration policy's running counters; the
+// zero Stats for policies that keep none.
+func policyStats(p migrate.Policy) migrate.Stats {
+	switch p := p.(type) {
+	case *migrate.StarNUMA:
+		return p.Stats()
+	case *migrate.PerfectBaseline:
+		return p.Stats()
+	}
+	return migrate.Stats{}
 }
 
 // checkpointMapWithStatic replaces every checkpoint's page map with the

@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"flag"
+	"io"
+	"strings"
+
+	"starnuma/internal/runner"
+)
+
+// CLIFlags is the flag set shared by cmd/starnuma and cmd/expall. Both
+// CLIs register the same run-shaping flags through AddCLIFlags and
+// materialise Options through CLIFlags.Options, so the two stay in sync
+// by construction.
+type CLIFlags struct {
+	Quick     bool
+	Scale     float64
+	Phases    int
+	Workloads string
+	Jobs      int
+	CacheDir  string
+	NoCache   bool
+	Progress  bool
+	// Metrics is the run-manifest output path; non-empty enables
+	// instrumentation collection (core.SimConfig.CollectMetrics).
+	Metrics string
+}
+
+// AddCLIFlags registers the shared run-shaping flags on fs and returns
+// the struct their parsed values land in. progressDefault seeds
+// -progress (expall defaults on, starnuma off).
+func AddCLIFlags(fs *flag.FlagSet, progressDefault bool) *CLIFlags {
+	f := &CLIFlags{}
+	fs.BoolVar(&f.Quick, "quick", false, "use the quick (small) configuration")
+	fs.Float64Var(&f.Scale, "scale", 0, "override workload footprint scale")
+	fs.IntVar(&f.Phases, "phases", 0, "override number of phases")
+	fs.StringVar(&f.Workloads, "workloads", "", "comma-separated workload subset (default: all)")
+	fs.IntVar(&f.Jobs, "jobs", 0, "parallel worker slots (0 = GOMAXPROCS)")
+	fs.StringVar(&f.CacheDir, "cache", runner.DefaultCacheDir, "result cache directory")
+	fs.BoolVar(&f.NoCache, "nocache", false, "disable the persistent result cache")
+	fs.BoolVar(&f.Progress, "progress", progressDefault, "report job progress on stderr")
+	fs.StringVar(&f.Metrics, "metrics", "", "collect instrumentation and write a run manifest to this JSON file")
+	return f
+}
+
+// Options materialises parsed flags into experiment options. progressW
+// receives the progress reporter's output when -progress is set
+// (typically os.Stderr).
+func (f *CLIFlags) Options(progressW io.Writer) Options {
+	opts := Default()
+	if f.Quick {
+		opts = Quick()
+	}
+	if f.Scale > 0 {
+		opts.Scale = f.Scale
+	}
+	if f.Phases > 0 {
+		opts.Sim.Phases = f.Phases
+	}
+	if f.Workloads != "" {
+		opts.Workloads = strings.Split(f.Workloads, ",")
+	}
+	opts.Jobs = f.Jobs
+	if !f.NoCache {
+		opts.CacheDir = f.CacheDir
+	}
+	if f.Progress && progressW != nil {
+		opts.Reporter = runner.NewTerminalReporter(progressW)
+	}
+	opts.Sim.CollectMetrics = f.Metrics != ""
+	return opts
+}

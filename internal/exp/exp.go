@@ -45,7 +45,13 @@ func (t *Table) Render() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			} else {
+				// Ragged row: cells beyond the column count render
+				// unpadded rather than panicking.
+				b.WriteString(cell)
+			}
 		}
 		b.WriteByte('\n')
 	}

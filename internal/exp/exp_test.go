@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"encoding/json"
+	"flag"
 	"strconv"
 	"strings"
 	"testing"
@@ -281,5 +283,126 @@ func TestByIDCoversAllIDs(t *testing.T) {
 		if err != nil || tbl.ID != id {
 			t.Errorf("ByID(%s): %v", id, err)
 		}
+	}
+}
+
+// TestRenderRaggedRow pins the writeRow bounds guard: a row with more
+// cells than the header must render (extra cells unpadded), not panic.
+func TestRenderRaggedRow(t *testing.T) {
+	tbl := &Table{
+		ID: "t", Title: "ragged",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2", "surplus"}, {"3"}},
+	}
+	out := tbl.Render()
+	for _, want := range []string{"surplus", "1", "3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lost cell %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRegistryDescriptors checks the declarative registry is well
+// formed: complete descriptors, unique identifiers (aliases included),
+// and alias resolution through Lookup.
+func TestRegistryDescriptors(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != len(IDs()) {
+		t.Fatalf("Experiments %d vs IDs %d", len(exps), len(IDs()))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.PaperRef == "" || e.Run == nil {
+			t.Errorf("incomplete descriptor %+v", e)
+		}
+		for _, id := range append([]string{e.ID}, e.Aliases...) {
+			if seen[id] {
+				t.Errorf("identifier %q registered twice", id)
+			}
+			seen[id] = true
+			got, ok := Lookup(id)
+			if !ok || got.ID != e.ID {
+				t.Errorf("Lookup(%q) = %v, %v; want %s", id, got.ID, ok, e.ID)
+			}
+		}
+	}
+	if _, ok := Lookup("bogus"); ok {
+		t.Error("Lookup resolved an unknown id")
+	}
+	// The historical alias spellings must keep working.
+	for alias, canon := range map[string]string{"table3": "tab3", "table4": "tab4"} {
+		if e, ok := Lookup(alias); !ok || e.ID != canon {
+			t.Errorf("alias %q -> %v, want %s", alias, e.ID, canon)
+		}
+	}
+}
+
+// TestManifestDeterministic checks the manifest snapshots memoised
+// results sorted by key, so identical run sets encode byte-identically.
+func TestManifestDeterministic(t *testing.T) {
+	mk := func() *Runner {
+		r := NewRunner(tinyOptions("BFS"))
+		// Seed the memo directly — manifest shape is independent of how
+		// results were computed.
+		r.memoPut("starnuma-t16|BFS", &core.Result{Workload: "BFS", IPC: 0.5, Tracker: "T16"})
+		r.memoPut("baseline|BFS", &core.Result{Workload: "BFS", IPC: 0.4, Tracker: "T16"})
+		return r
+	}
+	m := mk().Manifest()
+	if m.Schema != ManifestSchema {
+		t.Fatalf("schema %q", m.Schema)
+	}
+	if len(m.Runs) != 2 || m.Runs[0].Key != "baseline|BFS" || m.Runs[1].Key != "starnuma-t16|BFS" {
+		t.Fatalf("runs not sorted by key: %+v", m.Runs)
+	}
+	a, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(mk().Manifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("identical run sets encode differently")
+	}
+}
+
+// TestCLIFlagsOptions checks the shared flag helper wires every flag
+// into Options, including -metrics enabling collection.
+func TestCLIFlagsOptions(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := AddCLIFlags(fs, false)
+	err := fs.Parse([]string{"-quick", "-scale", "0.1", "-phases", "3",
+		"-workloads", "BFS,TC", "-jobs", "2", "-nocache", "-metrics", "m.json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := f.Options(nil)
+	if o.Scale != 0.1 || o.Sim.Phases != 3 || o.Jobs != 2 {
+		t.Errorf("options %+v", o)
+	}
+	if len(o.Workloads) != 2 || o.Workloads[0] != "BFS" {
+		t.Errorf("workloads %v", o.Workloads)
+	}
+	if o.CacheDir != "" {
+		t.Errorf("nocache left CacheDir %q", o.CacheDir)
+	}
+	if !o.Sim.CollectMetrics {
+		t.Error("-metrics did not enable collection")
+	}
+
+	// Without -metrics, collection stays off.
+	fs2 := flag.NewFlagSet("test2", flag.ContinueOnError)
+	f2 := AddCLIFlags(fs2, true)
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	o2 := f2.Options(nil)
+	if o2.Sim.CollectMetrics {
+		t.Error("collection on by default")
+	}
+	if o2.CacheDir == "" {
+		t.Error("default cache dir missing")
 	}
 }

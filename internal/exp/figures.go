@@ -611,116 +611,3 @@ func (r *Runner) Fig14() (*Table, error) {
 	}
 	return t, nil
 }
-
-// All runs every experiment in paper order.
-func (r *Runner) All() ([]*Table, error) {
-	var out []*Table
-	add := func(t *Table, err error) error {
-		if err != nil {
-			return err
-		}
-		out = append(out, t)
-		return nil
-	}
-	if err := add(r.Fig2()); err != nil {
-		return nil, err
-	}
-	out = append(out, Fig3(), Fig4())
-	if err := add(r.Table3()); err != nil {
-		return nil, err
-	}
-	if err := add(r.Fig8a()); err != nil {
-		return nil, err
-	}
-	if err := add(r.Fig8b()); err != nil {
-		return nil, err
-	}
-	if err := add(r.Fig8c()); err != nil {
-		return nil, err
-	}
-	if err := add(r.Table4()); err != nil {
-		return nil, err
-	}
-	if err := add(r.Fig9()); err != nil {
-		return nil, err
-	}
-	if err := add(r.Fig10()); err != nil {
-		return nil, err
-	}
-	if err := add(r.Fig11()); err != nil {
-		return nil, err
-	}
-	if err := add(r.Fig12()); err != nil {
-		return nil, err
-	}
-	if err := add(r.Fig13()); err != nil {
-		return nil, err
-	}
-	if err := add(r.Fig14()); err != nil {
-		return nil, err
-	}
-	if err := add(r.ExtReplication()); err != nil {
-		return nil, err
-	}
-	if err := add(r.Ext32Sockets()); err != nil {
-		return nil, err
-	}
-	if err := add(r.ExtSoftwareTracking()); err != nil {
-		return nil, err
-	}
-	if err := add(r.ExtDrift()); err != nil {
-		return nil, err
-	}
-	return out, nil
-}
-
-// ByID runs a single experiment by its identifier.
-func (r *Runner) ByID(id string) (*Table, error) {
-	switch id {
-	case "fig2":
-		return r.Fig2()
-	case "fig3":
-		return Fig3(), nil
-	case "fig4":
-		return Fig4(), nil
-	case "tab3", "table3":
-		return r.Table3()
-	case "fig8a":
-		return r.Fig8a()
-	case "fig8b":
-		return r.Fig8b()
-	case "fig8c":
-		return r.Fig8c()
-	case "tab4", "table4":
-		return r.Table4()
-	case "fig9":
-		return r.Fig9()
-	case "fig10":
-		return r.Fig10()
-	case "fig11":
-		return r.Fig11()
-	case "fig12":
-		return r.Fig12()
-	case "fig13":
-		return r.Fig13()
-	case "fig14":
-		return r.Fig14()
-	case "extrep":
-		return r.ExtReplication()
-	case "ext32":
-		return r.Ext32Sockets()
-	case "extsw":
-		return r.ExtSoftwareTracking()
-	case "extdrift":
-		return r.ExtDrift()
-	default:
-		return nil, fmt.Errorf("exp: unknown experiment %q (see IDs())", id)
-	}
-}
-
-// IDs lists all experiment identifiers in paper order.
-func IDs() []string {
-	return []string{"fig2", "fig3", "fig4", "tab3", "fig8a", "fig8b", "fig8c",
-		"tab4", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-		"extrep", "ext32", "extsw", "extdrift"}
-}

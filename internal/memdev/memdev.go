@@ -45,6 +45,7 @@ func DefaultPoolConfig() Config {
 // Controller is one node's memory controller. It is not safe for
 // concurrent use; the simulation is single-threaded.
 type Controller struct {
+	name     string
 	cfg      Config
 	channels []*link.Link
 	banked   []*bankedChannel // non-nil when BanksPerChannel > 0
@@ -59,7 +60,7 @@ func NewController(name string, cfg Config) *Controller {
 	if cfg.OnChip < 0 || cfg.DRAMLatency < 0 {
 		panic(fmt.Sprintf("memdev %s: negative latency", name))
 	}
-	c := &Controller{cfg: cfg}
+	c := &Controller{name: name, cfg: cfg}
 	if cfg.BanksPerChannel > 0 {
 		if cfg.RowHitLatency <= 0 || cfg.RowMissLatency < cfg.RowHitLatency {
 			panic(fmt.Sprintf("memdev %s: invalid bank latencies %v/%v",
@@ -77,6 +78,9 @@ func NewController(name string, cfg Config) *Controller {
 	}
 	return c
 }
+
+// Name returns the label the controller was constructed with.
+func (c *Controller) Name() string { return c.name }
 
 // Config returns the controller's configuration.
 func (c *Controller) Config() Config { return c.cfg }

@@ -1,0 +1,25 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"starnuma/internal/metrics"
+)
+
+// Example shows the registry lifecycle: instrument, snapshot, dump.
+func Example() {
+	reg := metrics.New()
+	reg.Add("link/upi/s0-s1/tx_bytes", 4096)
+	reg.Point("pool/resident_pages", 0, 12)
+	reg.Point("pool/resident_pages", 1, 53)
+	fmt.Print(reg.Snapshot().Dump())
+
+	// A nil registry is the disabled instrument: same calls, no effect.
+	var off *metrics.Registry
+	off.Add("link/upi/s0-s1/tx_bytes", 4096)
+	fmt.Println(off.Snapshot().Empty())
+	// Output:
+	// counter link/upi/s0-s1/tx_bytes 4096
+	// series pool/resident_pages 0:12 1:53
+	// true
+}

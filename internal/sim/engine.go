@@ -10,6 +10,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+
+	"starnuma/internal/metrics"
 )
 
 // Time is a simulation timestamp in picoseconds.
@@ -68,11 +70,13 @@ func (q *eventQueue) Pop() interface{} {
 // the simulation model is expected to be single-threaded (determinism is
 // a design goal — see DESIGN.md §3).
 type Engine struct {
-	now    Time
-	seq    uint64
-	queue  eventQueue
-	fired  uint64
-	halted bool
+	now        Time
+	seq        uint64
+	queue      eventQueue
+	fired      uint64
+	halted     bool
+	maxPending int
+	met        *metrics.Registry // nil = collection disabled
 }
 
 // NewEngine returns an engine with its clock at zero.
@@ -87,15 +91,37 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending reports how many events are waiting in the queue.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// MaxPending reports the queue-depth high-water mark.
+func (e *Engine) MaxPending() int { return e.maxPending }
+
+// SetMetrics directs scheduler instrumentation into m: per-kind event
+// counters ("sim/events/<kind>", see AtKind) and a queue-depth
+// histogram sampled at every dispatch ("sim/queue_depth"). A nil m
+// (the default) disables collection. Collection never influences event
+// order, timing, or any simulation result.
+func (e *Engine) SetMetrics(m *metrics.Registry) { e.met = m }
+
 // At schedules fn to run at the absolute time at. Scheduling in the past
 // panics: it always indicates a model bug, and silently reordering time
 // would corrupt every downstream statistic.
-func (e *Engine) At(at Time, fn Event) {
+func (e *Engine) At(at Time, fn Event) { e.AtKind(at, "other", fn) }
+
+// AtKind schedules fn like At and attributes the event to kind in the
+// metrics registry ("sim/events/<kind>" counters). Kinds are a pure
+// instrumentation label; scheduling order and timing are identical to
+// At, and nothing is recorded unless SetMetrics enabled collection.
+func (e *Engine) AtKind(at Time, kind string, fn Event) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
 	e.seq++
 	heap.Push(&e.queue, scheduled{at: at, seq: e.seq, fn: fn})
+	if len(e.queue) > e.maxPending {
+		e.maxPending = len(e.queue)
+	}
+	if e.met != nil {
+		e.met.Add("sim/events/"+kind, 1)
+	}
 }
 
 // After schedules fn to run delay picoseconds from now.
@@ -119,6 +145,9 @@ func (e *Engine) Step() bool {
 	it := heap.Pop(&e.queue).(scheduled)
 	e.now = it.at
 	e.fired++
+	if e.met != nil {
+		e.met.Observe("sim/queue_depth", int64(len(e.queue)))
+	}
 	it.fn(e.now)
 	return true
 }

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"testing"
 	"testing/quick"
+
+	"starnuma/internal/metrics"
 )
 
 func TestTimeUnits(t *testing.T) {
@@ -221,5 +223,53 @@ func BenchmarkEngineScheduleAndRun(b *testing.B) {
 			e.At(Time(j%97), func(Time) {})
 		}
 		e.Run()
+	}
+}
+
+func TestEngineMetricsHooks(t *testing.T) {
+	e := NewEngine()
+	m := metrics.New()
+	e.SetMetrics(m)
+	e.AtKind(0, "wake", func(Time) {})
+	e.AtKind(5, "wake", func(Time) {})
+	e.AtKind(3, "send", func(Time) {})
+	e.At(7, func(Time) {})
+	if e.MaxPending() != 4 {
+		t.Fatalf("MaxPending = %d, want 4", e.MaxPending())
+	}
+	e.Run()
+	s := m.Snapshot()
+	if s.Counters["sim/events/wake"] != 2 || s.Counters["sim/events/send"] != 1 ||
+		s.Counters["sim/events/other"] != 1 {
+		t.Fatalf("kind counters = %v", s.Counters)
+	}
+	h := s.Histograms["sim/queue_depth"]
+	if h.Count != 4 {
+		t.Fatalf("queue depth samples = %d, want 4", h.Count)
+	}
+}
+
+// TestEngineMetricsDoNotPerturbOrder pins the determinism contract:
+// with and without a registry, the same schedule fires in the same
+// order at the same times.
+func TestEngineMetricsDoNotPerturbOrder(t *testing.T) {
+	run := func(m *metrics.Registry) []Time {
+		e := NewEngine()
+		e.SetMetrics(m)
+		var fired []Time
+		for j := 0; j < 100; j++ {
+			e.AtKind(Time(j%13), "k", func(now Time) { fired = append(fired, now) })
+		}
+		e.Run()
+		return fired
+	}
+	off, on := run(nil), run(metrics.New())
+	if len(off) != len(on) {
+		t.Fatalf("fired %d vs %d events", len(off), len(on))
+	}
+	for i := range off {
+		if off[i] != on[i] {
+			t.Fatalf("event %d fired at %v with metrics on, %v off", i, on[i], off[i])
+		}
 	}
 }
