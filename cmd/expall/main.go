@@ -5,7 +5,7 @@
 //
 //	expall [-quick] [-scale 0.25] [-jobs N] [-o results.txt]
 //	       [-nocache] [-cache DIR] [-benchjson BENCH_expall.json]
-//	       [-metrics manifest.json]
+//	       [-metrics manifest.json] [-faults plan.json]
 //
 // Experiments execute on internal/runner's parallel scheduler (-jobs
 // worker slots, default GOMAXPROCS) with a persistent result cache
@@ -51,7 +51,11 @@ func main() {
 	cli := exp.AddCLIFlags(flag.CommandLine, true)
 	flag.Parse()
 
-	opts := cli.Options(os.Stderr)
+	opts, err := cli.Options(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "expall: %v\n", err)
+		os.Exit(1)
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {

@@ -5,6 +5,7 @@
 //
 //	starnuma -exp fig8a [-quick] [-scale 0.25] [-phases 6] [-workloads BFS,TC]
 //	starnuma -exp fig8a -metrics manifest.json   # collect instrumentation
+//	starnuma -exp fig8a -faults plan.json        # inject fabric faults
 //	starnuma -list
 //
 // Experiment identifiers follow the paper's figure/table numbers; see
@@ -40,7 +41,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	r := exp.NewRunner(cli.Options(os.Stderr))
+	opts, err := cli.Options(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "starnuma: %v\n", err)
+		os.Exit(1)
+	}
+	r := exp.NewRunner(opts)
 	table, err := r.ByID(*expID)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "starnuma: %v\n", err)

@@ -13,6 +13,7 @@ package core
 import (
 	"fmt"
 
+	"starnuma/internal/fault"
 	"starnuma/internal/link"
 	"starnuma/internal/memdev"
 	"starnuma/internal/migrate"
@@ -211,6 +212,13 @@ type SimConfig struct {
 	// so it is off by default.
 	CollectMetrics bool
 
+	// Faults is the fault-injection plan (internal/fault): link
+	// degradation, CXL port flaps and pool-channel failures scheduled at
+	// simulated phases/times. nil (or an empty plan) injects nothing and
+	// simulates bit-identically to a fault-free run. The plan is part of
+	// the config, so it content-hashes into the runner's cache key.
+	Faults *fault.Plan
+
 	// ModelTLB enables the translation subsystem: per-core TLBs, the
 	// shared TLB directory for targeted shootdowns (§III-D3), and
 	// page-walk penalties for shootdown-invalidated translations.
@@ -289,6 +297,9 @@ func (c SimConfig) Validate() error {
 		return fmt.Errorf("core: negative page walk penalty")
 	}
 	if err := c.Replication.Validate(); err != nil {
+		return err
+	}
+	if err := c.Faults.Validate(); err != nil {
 		return err
 	}
 	if c.SoftwareTracking.Enable {

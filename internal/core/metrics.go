@@ -85,6 +85,19 @@ func (ts *timingSystem) harvest(phase int) {
 		m.Point("tlb/shootdowns_per_phase", t, float64(st.Shootdowns))
 	}
 
+	// Fault injection; only when a schedule is active, so fault-free
+	// manifests carry no fault/* keys.
+	if ts.sched != nil {
+		m.Add("fault/link/degraded_sends", ts.w.faultDegraded)
+		m.Add("fault/link/flap_retries", ts.w.faultRetries)
+		m.Add("fault/link/retry_ps", uint64(ts.w.faultRetryPS))
+		m.Point("fault/events_active", t, float64(ts.sched.Active(phase)))
+		if ts.topo.HasPool() {
+			m.Point("fault/pool/channels_down", t,
+				float64(ts.poolFault.FailedChannels(ts.sys.Pool.Channels)))
+		}
+	}
+
 	// Migration and study counters surfaced by the window itself.
 	m.Add("migrate/stalled_accesses", ts.w.migrStalled)
 	m.Point("migrate/modeled", t, float64(ts.w.migrModeled))

@@ -87,6 +87,8 @@ func (p *Plan) NewResult() *Result {
 		MigrStats:      p.tr.MigrStats,
 		TrackerFlushes: p.tr.TrackerFlushes,
 		Metrics:        p.tr.Metrics.Clone(),
+
+		FaultDrainedPages: p.tr.DrainedPages,
 	}
 	topo := topology.New(p.sys.Topology)
 	res.AMAT.SetUnloadedLatencies(unloadedLatencies(topo,
@@ -118,6 +120,8 @@ func (r *Result) MergeWindow(w Window) {
 	r.ReplicaReads += w.stats.replicaReads
 	r.ReplicaWriteStalls += w.stats.replicaWriteStalls
 	r.PageFaults += w.stats.pageFaults
+	r.FaultDegradedSends += w.stats.faultDegraded
+	r.FaultFlapRetries += w.stats.faultRetries
 	if w.stats.met != nil {
 		if r.Metrics == nil {
 			r.Metrics = &metrics.Snapshot{}

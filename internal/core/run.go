@@ -50,6 +50,12 @@ type Result struct {
 	// PageFaults counts minor faults taken by the software-tracking
 	// study's poisoned pages during timing windows.
 	PageFaults uint64
+	// Fault-injection totals (internal/fault): sends served with
+	// degraded latency/bandwidth, sends delayed by a flapping link, and
+	// pages drained off failing pool channels. All zero without a plan.
+	FaultDegradedSends uint64
+	FaultFlapRetries   uint64
+	FaultDrainedPages  uint64
 	// SimulatedTime is the summed wall-clock of the timing windows.
 	SimulatedTime sim.Time
 	// Instructions / Misses are post-warmup totals.

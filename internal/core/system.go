@@ -5,6 +5,7 @@ import (
 
 	"starnuma/internal/cache"
 	"starnuma/internal/coherence"
+	"starnuma/internal/fault"
 	"starnuma/internal/link"
 	"starnuma/internal/memdev"
 	"starnuma/internal/metrics"
@@ -62,6 +63,12 @@ type windowStats struct {
 	replicaWriteStalls uint64
 	// software-tracking study: minor page faults taken in the window
 	pageFaults uint64
+	// fault-injection counters, summed over the window's link injectors:
+	// sends served degraded, sends that hit a flap down-interval, and
+	// the total retrain+retry wait they paid.
+	faultDegraded uint64
+	faultRetries  uint64
+	faultRetryPS  sim.Time
 	// met is the window's instrumentation snapshot; nil unless
 	// SimConfig.CollectMetrics.
 	met *metrics.Snapshot
@@ -81,6 +88,13 @@ type timingSystem struct {
 	dir     *coherence.Directory
 	tlbs    *tlb.System      // nil when TLB modelling is disabled
 	sampler *tracker.Sampler // nil unless the software-tracking study runs
+
+	// fault injection: the compiled schedule (nil = fault-free), the
+	// per-link injectors installed for this window's phase, and the
+	// pool device's health.
+	sched     *fault.Schedule
+	injectors []*fault.Injector
+	poolFault fault.PoolState
 
 	pageHome   []topology.NodeID
 	inFlight   map[uint32][]func() // page -> callbacks waiting for migration
@@ -139,7 +153,10 @@ func newTimingSystem(sys SystemConfig, cfg SimConfig, gen AccessSource,
 		ts.chargeTracker = false // faults replace annex flush traffic
 	}
 
-	// Links: one bandwidth server per directed channel.
+	ts.sched = fault.NewSchedule(cfg.Faults)
+
+	// Links: one bandwidth server per directed channel, with a fault
+	// injector installed when the plan targets it during this phase.
 	for _, ch := range topo.Channels() {
 		var bw link.GBps
 		switch ch.Kind {
@@ -150,8 +167,12 @@ func newTimingSystem(sys SystemConfig, cfg SimConfig, gen AccessSource,
 		case topology.KindCXL:
 			bw = sys.Pool.LinkBW
 		}
-		ts.links = append(ts.links, link.New(
-			fmt.Sprintf("%s:%s->%s", ch.Kind, ch.From, ch.To), bw, ch.Latency))
+		l := link.New(fmt.Sprintf("%s:%s->%s", ch.Kind, ch.From, ch.To), bw, ch.Latency)
+		if inj := ts.sched.Link(ch.Kind.String(), ch.From, ch.To, chk.Phase); inj != nil {
+			l.SetFault(inj)
+			ts.injectors = append(ts.injectors, inj)
+		}
+		ts.links = append(ts.links, l)
 	}
 
 	// Memory controllers per node.
@@ -162,7 +183,12 @@ func newTimingSystem(sys SystemConfig, cfg SimConfig, gen AccessSource,
 	if topo.HasPool() {
 		pm := sys.PoolMem
 		pm.Channels = sys.Pool.Channels
-		ts.ctrls = append(ts.ctrls, memdev.NewController("pool", pm))
+		ctrl := memdev.NewController("pool", pm)
+		ts.poolFault = ts.sched.Pool(chk.Phase, pm.Channels)
+		if ts.poolFault.Dead || len(ts.poolFault.Down) > 0 {
+			ctrl.ApplyFault(ts.poolFault)
+		}
+		ts.ctrls = append(ts.ctrls, ctrl)
 	}
 
 	// Placement state.
@@ -690,6 +716,12 @@ func runWindow(sys SystemConfig, cfg SimConfig, gen AccessSource,
 	ts.w.dir = ts.dir.Stats()
 	if ts.tlbs != nil {
 		ts.w.tlb = ts.tlbs.Stats()
+	}
+	for _, inj := range ts.injectors {
+		st := inj.Stats()
+		ts.w.faultDegraded += st.DegradedSends
+		ts.w.faultRetries += st.FlapRetries
+		ts.w.faultRetryPS += st.RetryTime
 	}
 	if ts.met != nil {
 		ts.harvest(chk.Phase)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"starnuma/internal/fault"
 	"starnuma/internal/metrics"
 	"starnuma/internal/migrate"
 	"starnuma/internal/topology"
@@ -33,6 +34,9 @@ type TraceResult struct {
 	MigrStats migrate.Stats
 	// TrackerFlushes is the metadata write traffic the tracker generated.
 	TrackerFlushes uint64
+	// DrainedPages counts pages evacuated from the pool in reaction to
+	// fault-plan channel/device failures (graceful degradation).
+	DrainedPages uint64
 	// Metrics is step B's instrumentation snapshot (per-phase migration
 	// decision series, pool residency); nil unless
 	// SimConfig.CollectMetrics.
@@ -133,6 +137,7 @@ func TraceSimulate(sys SystemConfig, cfg SimConfig, gen AccessSource) (*TraceRes
 	if cfg.CollectMetrics {
 		reg = metrics.New()
 	}
+	sched := fault.NewSchedule(cfg.Faults)
 
 	// Checkpoint 0: nothing placed yet, no in-flight migrations; pages
 	// are first-touched during the phase itself.
@@ -174,8 +179,31 @@ func TraceSimulate(sys SystemConfig, cfg SimConfig, gen AccessSource) (*TraceRes
 		// `home` so subsequent trace phases see the post-migration state.
 		snap := make([]topology.NodeID, pages)
 		copy(snap, home)
+		// Fault reaction precedes the policy: recompute the pool's
+		// degraded capacity for the upcoming phase, drain the overflow
+		// (everything, when the device dies), and only then let the
+		// policy decide — with HasPool off when no capacity remains, so
+		// it degenerates to socket-only StarNUMA-Halt behaviour.
+		var drained []migrate.Migration
+		if topo.HasPool() && sched != nil {
+			ps := sched.Pool(phase+1, sys.Pool.Channels)
+			capPages := sys.Pool.DegradedCapacityPages(pages, ps)
+			st.HasPool = true
+			drained = migrate.DrainPool(st, capPages)
+			st.PoolCapacityPages = capPages
+			st.HasPool = capPages > 0
+			res.DrainedPages += uint64(len(drained))
+			if reg != nil {
+				reg.Point("fault/drained_pages", int64(phase), float64(len(drained)))
+			}
+		}
 		before := policyStats(policy)
 		pending := policy.Decide(phase, st)
+		if len(drained) > 0 {
+			// Drains go first so the timing window models the drain
+			// traffic within its migration share.
+			pending = append(drained, pending...)
+		}
 		if reg != nil {
 			after := policyStats(policy)
 			t := int64(phase)
@@ -211,6 +239,9 @@ func TraceSimulate(sys SystemConfig, cfg SimConfig, gen AccessSource) (*TraceRes
 		reg.Add("migrate/pages_to_socket", res.MigrStats.PagesToSocket)
 		reg.Add("migrate/pingpong_skips", res.MigrStats.PingPongSkips)
 		reg.Add("migrate/evictions", res.MigrStats.Evictions)
+		if sched != nil {
+			reg.Add("fault/drained_pages", res.DrainedPages)
+		}
 		res.Metrics = reg.Snapshot()
 	}
 	return res, nil

@@ -2,9 +2,12 @@ package exp
 
 import (
 	"flag"
+	"fmt"
 	"io"
+	"os"
 	"strings"
 
+	"starnuma/internal/fault"
 	"starnuma/internal/runner"
 )
 
@@ -24,6 +27,9 @@ type CLIFlags struct {
 	// Metrics is the run-manifest output path; non-empty enables
 	// instrumentation collection (core.SimConfig.CollectMetrics).
 	Metrics string
+	// Faults is a fault-plan JSON file; non-empty loads it into
+	// core.SimConfig.Faults so every experiment runs under the plan.
+	Faults string
 }
 
 // AddCLIFlags registers the shared run-shaping flags on fs and returns
@@ -40,13 +46,15 @@ func AddCLIFlags(fs *flag.FlagSet, progressDefault bool) *CLIFlags {
 	fs.BoolVar(&f.NoCache, "nocache", false, "disable the persistent result cache")
 	fs.BoolVar(&f.Progress, "progress", progressDefault, "report job progress on stderr")
 	fs.StringVar(&f.Metrics, "metrics", "", "collect instrumentation and write a run manifest to this JSON file")
+	fs.StringVar(&f.Faults, "faults", "", "run under the fault-injection plan in this JSON file (internal/fault)")
 	return f
 }
 
 // Options materialises parsed flags into experiment options. progressW
 // receives the progress reporter's output when -progress is set
-// (typically os.Stderr).
-func (f *CLIFlags) Options(progressW io.Writer) Options {
+// (typically os.Stderr). It fails when -faults names an unreadable or
+// invalid plan file.
+func (f *CLIFlags) Options(progressW io.Writer) (Options, error) {
 	opts := Default()
 	if f.Quick {
 		opts = Quick()
@@ -68,5 +76,16 @@ func (f *CLIFlags) Options(progressW io.Writer) Options {
 		opts.Reporter = runner.NewTerminalReporter(progressW)
 	}
 	opts.Sim.CollectMetrics = f.Metrics != ""
-	return opts
+	if f.Faults != "" {
+		data, err := os.ReadFile(f.Faults)
+		if err != nil {
+			return Options{}, fmt.Errorf("exp: -faults: %w", err)
+		}
+		plan, err := fault.ParsePlan(data)
+		if err != nil {
+			return Options{}, fmt.Errorf("exp: -faults %s: %w", f.Faults, err)
+		}
+		opts.Sim.Faults = plan
+	}
+	return opts, nil
 }

@@ -1,0 +1,24 @@
+package exp
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentDocumented fails when a registry entry has no
+// section in EXPERIMENTS.md: every heading for an experiment carries
+// its ID in backticks-in-parens, e.g. "## Fig. 8a — speedup (`fig8a`)",
+// so adding an experiment without documenting it breaks the build.
+func TestEveryExperimentDocumented(t *testing.T) {
+	doc, err := os.ReadFile("../../EXPERIMENTS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(doc)
+	for _, id := range IDs() {
+		if !strings.Contains(text, "(`"+id+"`)") {
+			t.Errorf("experiment %q has no EXPERIMENTS.md section: add a heading containing (`%s`)", id, id)
+		}
+	}
+}

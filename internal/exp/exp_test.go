@@ -168,7 +168,7 @@ func TestByIDAndIDs(t *testing.T) {
 		t.Fatal("unknown experiment accepted")
 	}
 	ids := IDs()
-	if len(ids) != 18 {
+	if len(ids) != 19 {
 		t.Fatalf("IDs = %v", ids)
 	}
 	seen := map[string]bool{}
@@ -378,7 +378,10 @@ func TestCLIFlagsOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	o := f.Options(nil)
+	o, err := f.Options(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if o.Scale != 0.1 || o.Sim.Phases != 3 || o.Jobs != 2 {
 		t.Errorf("options %+v", o)
 	}
@@ -398,7 +401,10 @@ func TestCLIFlagsOptions(t *testing.T) {
 	if err := fs2.Parse(nil); err != nil {
 		t.Fatal(err)
 	}
-	o2 := f2.Options(nil)
+	o2, err := f2.Options(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if o2.Sim.CollectMetrics {
 		t.Error("collection on by default")
 	}

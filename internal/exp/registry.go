@@ -60,6 +60,8 @@ var registry = []Experiment{
 		Run: (*Runner).ExtSoftwareTracking},
 	{ID: "extdrift", Title: "Phase-drift sensitivity study", PaperRef: "extension",
 		Run: (*Runner).ExtDrift},
+	{ID: "faultsweep", Aliases: []string{"faults"}, Title: "Degraded-mode sweep under CXL fabric fault plans", PaperRef: "§VI RAS extension",
+		Run: (*Runner).FaultSweep},
 }
 
 // Experiments returns the registered experiments in paper order. The

@@ -1,0 +1,63 @@
+package fault_test
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"starnuma/internal/fault"
+)
+
+// ExamplePlan shows a plan's JSON shape and that ParsePlan(Marshal(p))
+// round-trips: the same document drives -faults on both CLIs.
+func ExamplePlan() {
+	plan := &fault.Plan{
+		Name: "degraded-port",
+		Events: []fault.Event{
+			{Kind: fault.Degrade, Target: "cxl:s3", FromPhase: 1, LatencyX: 4, BandwidthDiv: 4},
+			{Kind: fault.Kill, Target: "pool:ch0", FromPhase: 2},
+		},
+	}
+	data, _ := json.MarshalIndent(plan, "", "  ")
+	fmt.Println(string(data))
+
+	back, err := fault.ParsePlan(data)
+	fmt.Println("round trip:", err == nil && len(back.Events) == len(plan.Events))
+	// Output:
+	// {
+	//   "name": "degraded-port",
+	//   "events": [
+	//     {
+	//       "kind": "degrade",
+	//       "target": "cxl:s3",
+	//       "from_phase": 1,
+	//       "latency_x": 4,
+	//       "bandwidth_div": 4
+	//     },
+	//     {
+	//       "kind": "kill",
+	//       "target": "pool:ch0",
+	//       "from_phase": 2
+	//     }
+	//   ]
+	// }
+	// round trip: true
+}
+
+// ExampleParsePlan loads the JSON document a user would pass via
+// -faults and rejects an invalid one.
+func ExampleParsePlan() {
+	plan, err := fault.ParsePlan([]byte(`{
+		"name": "flappy",
+		"events": [
+			{"kind": "flap", "target": "cxl", "from_phase": 1,
+			 "period_ns": 2000, "down_ns": 300, "retry_ns": 100}
+		]
+	}`))
+	fmt.Println(plan.Name, err)
+
+	_, err = fault.ParsePlan([]byte(`{"events": [{"kind": "kill", "target": "cxl"}]}`))
+	fmt.Println(err)
+	// Output:
+	// flappy <nil>
+	// fault: event 0: kill needs a pool target, got "cxl"
+}

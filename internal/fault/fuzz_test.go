@@ -1,0 +1,60 @@
+package fault
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParsePlan checks the parser's contract: arbitrary bytes —
+// malformed JSON, overlapping windows, negative times, nonsense targets
+// — never panic; they either parse into a plan that re-validates and
+// compiles cleanly, or are rejected with an error.
+func FuzzParsePlan(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"events":[]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"events":[{"kind":"flap","target":"cxl","period_ns":2000,"down_ns":300,"retry_ns":100}]}`))
+	f.Add([]byte(`{"events":[{"kind":"degrade","target":"upi:s3","from_phase":1,"to_phase":3,"latency_x":2.5}]}`))
+	f.Add([]byte(`{"events":[{"kind":"kill","target":"pool:ch1","from_phase":2}]}`))
+	f.Add([]byte(`{"events":[{"kind":"degrade","target":"cxl","from_ns":-1,"latency_x":2}]}`))
+	f.Add([]byte(`{"events":[{"kind":"flap","target":"cxl","period_ns":1,"down_ns":2}]}`))
+	f.Add([]byte(`{"events":[{"kind":"degrade","target":"cxl","latency_x":2},{"kind":"degrade","target":"cxl","latency_x":3}]}`))
+	for _, p := range []*Plan{FlapPlan(), DegradePlan(3), DeadChannelPlan(0), DeadPoolPlan()} {
+		b, err := json.Marshal(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParsePlan(data)
+		if err != nil {
+			return
+		}
+		// An accepted plan must re-validate, survive a JSON round trip,
+		// and compile into a queryable schedule without panicking.
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted plan fails Validate: %v", err)
+		}
+		b, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("accepted plan does not marshal: %v", err)
+		}
+		p2, err := ParsePlan(b)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(p2.Events) != len(p.Events) {
+			t.Fatalf("round trip changed event count %d -> %d", len(p.Events), len(p2.Events))
+		}
+		s := NewSchedule(p)
+		for phase := 0; phase < 4; phase++ {
+			s.Active(phase)
+			s.Pool(phase, 2)
+			if inj := s.Link("CXL", "s0", "pool", phase); inj != nil {
+				inj.Adjust(0, 10, 1)
+				inj.Adjust(1_000_000, 10, 1)
+			}
+		}
+	})
+}

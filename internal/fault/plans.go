@@ -1,0 +1,66 @@
+package fault
+
+import "strconv"
+
+// Canned plans for the faultsweep experiment and the CLIs' examples.
+// Each starts at phase 1 so phase 0's first-touch placement is common
+// to every scenario and differences are attributable to the fault.
+
+// FlapPlan returns transient CXL port flaps on every socket's pool
+// link: down 300ns out of every 2µs, with a 100ns retry cost — roughly
+// a 15% duty cycle of unavailability on the pool fabric.
+func FlapPlan() *Plan {
+	return &Plan{
+		Name: "cxl-flap",
+		Events: []Event{{
+			Kind: Flap, Target: "cxl", FromPhase: 1,
+			PeriodNS: 2000, DownNS: 300, RetryNS: 100,
+		}},
+	}
+}
+
+// DegradePlan returns a persistent CXL fabric degradation: every pool
+// link serves at latency ×k and bandwidth ÷k from phase 1 onward (a
+// downtrained port, a misbehaving retimer).
+func DegradePlan(k float64) *Plan {
+	return &Plan{
+		Name: "cxl-degrade",
+		Events: []Event{{
+			Kind: Degrade, Target: "cxl", FromPhase: 1,
+			LatencyX: k, BandwidthDiv: k,
+		}},
+	}
+}
+
+// DeadChannelPlan returns a permanent failure of one pool DDR channel
+// from phase 1 onward: surviving channels absorb the traffic and the
+// capacity budget shrinks proportionally, so migrate drains the
+// overflow.
+func DeadChannelPlan(ch int) *Plan {
+	return &Plan{
+		Name: "dead-channel",
+		Events: []Event{{
+			Kind: Kill, Target: poolChannelTarget(ch), FromPhase: 1,
+		}},
+	}
+}
+
+// DeadPoolPlan returns a permanent whole-device failure from phase 2
+// onward: every pool-resident page is drained back to the sockets and
+// the policy falls back to StarNUMA-Halt (socket-only) behaviour.
+func DeadPoolPlan() *Plan {
+	return &Plan{
+		Name: "dead-pool",
+		Events: []Event{{
+			Kind: Kill, Target: "pool", FromPhase: 2,
+		}},
+	}
+}
+
+// poolChannelTarget formats "pool:chN" ("pool" for negative ch).
+func poolChannelTarget(ch int) string {
+	if ch < 0 {
+		return "pool"
+	}
+	return "pool:ch" + strconv.Itoa(ch)
+}

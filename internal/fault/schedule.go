@@ -1,0 +1,257 @@
+package fault
+
+import (
+	"sort"
+	"strings"
+
+	"starnuma/internal/sim"
+)
+
+// compiledEvent is an Event with its scheduling fields converted to
+// integer simulation time and parsed targets.
+type compiledEvent struct {
+	kind      Kind
+	class     string
+	sub       string
+	fromPhase int
+	toPhase   int // <= 0 means open-ended
+	from, to  sim.Time
+	openEnd   bool // ToNS unset: active until the window ends
+
+	latX, bwDiv float64 // degrade
+
+	period, down, retry sim.Time // flap
+
+	channel int // kill: -1 = whole device
+}
+
+// activePhase reports whether the event covers the given checkpoint
+// phase.
+func (c *compiledEvent) activePhase(phase int) bool {
+	if phase < c.fromPhase {
+		return false
+	}
+	return c.toPhase <= 0 || phase < c.toPhase
+}
+
+// activeAt reports whether the event covers window-relative time now.
+func (c *compiledEvent) activeAt(now sim.Time) bool {
+	if now < c.from {
+		return false
+	}
+	return c.openEnd || now < c.to
+}
+
+// Schedule is a Plan compiled for querying by the timing stack. All
+// methods are nil-safe: a nil *Schedule (no plan, or an empty one)
+// answers every query with "no fault", so fault-free runs take the
+// exact code paths they always did.
+type Schedule struct {
+	events []compiledEvent
+}
+
+// NewSchedule compiles a validated plan. A nil or empty plan yields a
+// nil schedule. NewSchedule never fails: events an earlier Validate
+// would have rejected are skipped defensively.
+func NewSchedule(p *Plan) *Schedule {
+	if p == nil || len(p.Events) == 0 {
+		return nil
+	}
+	s := &Schedule{}
+	for _, e := range p.Events {
+		if e.validate() != nil {
+			continue
+		}
+		class, sub := splitTarget(e.Target)
+		ce := compiledEvent{
+			kind:      e.Kind,
+			class:     class,
+			sub:       sub,
+			fromPhase: e.FromPhase,
+			toPhase:   e.ToPhase,
+			from:      sim.FromNanos(e.FromNS),
+			to:        sim.FromNanos(e.ToNS),
+			openEnd:   e.ToNS == 0,
+			latX:      e.LatencyX,
+			bwDiv:     e.BandwidthDiv,
+			period:    sim.FromNanos(e.PeriodNS),
+			down:      sim.FromNanos(e.DownNS),
+			retry:     sim.FromNanos(e.RetryNS),
+			channel:   -1,
+		}
+		if e.Kind == Kill {
+			ce.channel, _ = killChannel(sub)
+		}
+		s.events = append(s.events, ce)
+	}
+	if len(s.events) == 0 {
+		return nil
+	}
+	return s
+}
+
+// Active returns the number of plan events covering the given phase —
+// the "fault/events_active" metric.
+func (s *Schedule) Active(phase int) int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for i := range s.events {
+		if s.events[i].activePhase(phase) {
+			n++
+		}
+	}
+	return n
+}
+
+// matchLink reports whether the event targets the directed link of the
+// given channel kind ("UPI", "CXL", ...) between endpoints from and to.
+func (c *compiledEvent) matchLink(kind, from, to string) bool {
+	if c.kind == Kill {
+		return false
+	}
+	if c.class != "link" && !strings.EqualFold(c.class, kind) {
+		return false
+	}
+	return c.sub == "" || c.sub == from || c.sub == to
+}
+
+// Link returns the injector a link with the given channel kind and
+// endpoints must consult during the given phase's timing window, or nil
+// when no event targets it.
+func (s *Schedule) Link(kind, from, to string, phase int) *Injector {
+	if s == nil {
+		return nil
+	}
+	var inj *Injector
+	for i := range s.events {
+		ce := &s.events[i]
+		if !ce.activePhase(phase) || !ce.matchLink(kind, from, to) {
+			continue
+		}
+		if inj == nil {
+			inj = &Injector{}
+		}
+		inj.spans = append(inj.spans, *ce)
+	}
+	return inj
+}
+
+// PoolState describes the pool device's health during one phase — the
+// query interface internal/memdev, internal/pool and internal/migrate
+// consume.
+type PoolState struct {
+	// Down lists the failed DDR channel indexes, sorted ascending.
+	Down []int
+	// Dead marks the whole multi-headed device as failed.
+	Dead bool
+}
+
+// FailedChannels returns how many of total channels are unavailable.
+func (ps PoolState) FailedChannels(total int) int {
+	if ps.Dead {
+		return total
+	}
+	n := 0
+	for _, ch := range ps.Down {
+		if ch >= 0 && ch < total {
+			n++
+		}
+	}
+	return n
+}
+
+// Pool returns the pool device's health during the given phase, for a
+// device with the given channel count. A device whose every channel is
+// killed individually is Dead.
+func (s *Schedule) Pool(phase, channels int) PoolState {
+	var ps PoolState
+	if s == nil {
+		return ps
+	}
+	for i := range s.events {
+		ce := &s.events[i]
+		if ce.kind != Kill || !ce.activePhase(phase) {
+			continue
+		}
+		if ce.channel < 0 {
+			ps.Dead = true
+			continue
+		}
+		ps.Down = append(ps.Down, ce.channel)
+	}
+	sort.Ints(ps.Down)
+	if !ps.Dead && channels > 0 && ps.FailedChannels(channels) >= channels {
+		ps.Dead = true
+	}
+	return ps
+}
+
+// InjectorStats counts what an Injector did to its link's traffic.
+type InjectorStats struct {
+	// DegradedSends counts sends served with degraded latency/bandwidth.
+	DegradedSends uint64
+	// FlapRetries counts sends that hit a down interval and waited.
+	FlapRetries uint64
+	// RetryTime is the total wait (retrain remainder + retry cost).
+	RetryTime sim.Time
+}
+
+// Injector adjusts one link's sends according to the events targeting
+// it. It is built per (link, window) by Schedule.Link, shares the
+// single-threaded determinism contract of the link it serves, and
+// accumulates InjectorStats for the fault/* metrics namespace.
+type Injector struct {
+	spans []compiledEvent
+	stats InjectorStats
+}
+
+// Adjust applies the active events to a send arriving at window-relative
+// time now with the link's nominal latency and inverse bandwidth. It
+// returns the effective latency and ps/byte plus a delay the send must
+// wait before touching the wire (flap retrain + retry cost). Degrade
+// factors are evaluated at the original arrival time.
+func (j *Injector) Adjust(now, latency sim.Time, psPerByte float64) (lat sim.Time, psb float64, delay sim.Time) {
+	lat, psb = latency, psPerByte
+	if j == nil {
+		return lat, psb, 0
+	}
+	degraded := false
+	for i := range j.spans {
+		sp := &j.spans[i]
+		if !sp.activeAt(now) {
+			continue
+		}
+		switch sp.kind {
+		case Flap:
+			pos := (now - sp.from) % sp.period
+			if pos < sp.down {
+				d := (sp.down - pos) + sp.retry
+				delay += d
+				j.stats.FlapRetries++
+				j.stats.RetryTime += d
+			}
+		case Degrade:
+			if sp.latX > 1 {
+				lat = sim.Time(float64(lat)*sp.latX + 0.5)
+			}
+			if sp.bwDiv > 1 {
+				psb *= sp.bwDiv
+			}
+			degraded = true
+		}
+	}
+	if degraded {
+		j.stats.DegradedSends++
+	}
+	return lat, psb, delay
+}
+
+// Stats returns the injector's counters.
+func (j *Injector) Stats() InjectorStats {
+	if j == nil {
+		return InjectorStats{}
+	}
+	return j.stats
+}

@@ -12,6 +12,7 @@ package link
 import (
 	"fmt"
 
+	"starnuma/internal/fault"
 	"starnuma/internal/sim"
 )
 
@@ -25,6 +26,7 @@ type Link struct {
 	queued     sim.Time // cumulative queuing delay
 	messages   uint64
 	bytesMoved uint64
+	inj        *fault.Injector // nil when no fault targets this link
 }
 
 // GBps expresses a bandwidth in gigabytes (1e9 bytes) per second.
@@ -51,6 +53,13 @@ func (l *Link) Name() string { return l.name }
 // Latency returns the post-serialization propagation latency.
 func (l *Link) Latency() sim.Time { return l.latency }
 
+// SetFault installs a fault injector consulted on every Send (nil
+// removes it). Flap retries delay the send before it touches the wire;
+// degrade events scale the effective latency and inverse bandwidth.
+// The retry delay is charged to the message, not counted as queuing —
+// it is retrain/backoff cost, reported via the injector's stats.
+func (l *Link) SetFault(inj *fault.Injector) { l.inj = inj }
+
 // Send models transmitting a message of size bytes arriving at the link
 // at time now. It returns the time the message is delivered at the far
 // end and the queuing delay it suffered waiting for the wire.
@@ -58,18 +67,24 @@ func (l *Link) Send(now sim.Time, bytes int) (delivered, queuing sim.Time) {
 	if bytes < 0 {
 		panic(fmt.Sprintf("link %s: negative message size %d", l.name, bytes))
 	}
+	latency, psPerByte := l.latency, l.psPerByte
+	if l.inj != nil {
+		var retry sim.Time
+		latency, psPerByte, retry = l.inj.Adjust(now, latency, psPerByte)
+		now += retry
+	}
 	start := now
 	if l.nextFree > start {
 		start = l.nextFree
 	}
 	queuing = start - now
-	serialize := sim.Time(float64(bytes)*l.psPerByte + 0.5)
+	serialize := sim.Time(float64(bytes)*psPerByte + 0.5)
 	l.nextFree = start + serialize
 	l.busy += serialize
 	l.queued += queuing
 	l.messages++
 	l.bytesMoved += uint64(bytes)
-	return l.nextFree + l.latency, queuing
+	return l.nextFree + latency, queuing
 }
 
 // Stats is a snapshot of a link's lifetime counters.

@@ -12,6 +12,7 @@ package memdev
 import (
 	"fmt"
 
+	"starnuma/internal/fault"
 	"starnuma/internal/link"
 	"starnuma/internal/sim"
 )
@@ -49,6 +50,7 @@ type Controller struct {
 	cfg      Config
 	channels []*link.Link
 	banked   []*bankedChannel // non-nil when BanksPerChannel > 0
+	remap    []int            // fault remap of channel indexes; nil = healthy
 }
 
 // NewController builds a controller from cfg. It panics on nonsensical
@@ -107,9 +109,53 @@ func (c *Controller) Access(now sim.Time, addr uint64, bytes int) (done, queuing
 }
 
 // channelFor interleaves 64B blocks across channels, as real controllers
-// do, so streaming access spreads evenly.
+// do, so streaming access spreads evenly. Under a fault remap, failed
+// channels' shares fold onto the survivors.
 func (c *Controller) channelFor(addr uint64) int {
-	return int((addr >> 6) % uint64(c.cfg.Channels))
+	i := int((addr >> 6) % uint64(c.cfg.Channels))
+	if c.remap != nil {
+		i = c.remap[i]
+	}
+	return i
+}
+
+// ApplyFault reroutes traffic off the channels st marks failed: each
+// failed channel's interleave share folds onto the surviving channels
+// round-robin, which is where a dying channel's bandwidth loss shows up
+// as contention. A fully dead device keeps its lowest-indexed channel
+// answering as a documented emergency path, so drain traffic and stale
+// accesses still complete — graceful degradation, never a stall or a
+// panic. A healthy st clears any previous remap.
+func (c *Controller) ApplyFault(st fault.PoolState) {
+	failed := make([]bool, c.cfg.Channels)
+	if st.Dead {
+		for i := range failed {
+			failed[i] = true
+		}
+	}
+	for _, ch := range st.Down {
+		if ch >= 0 && ch < len(failed) {
+			failed[ch] = true
+		}
+	}
+	var surviving []int
+	for i, f := range failed {
+		if !f {
+			surviving = append(surviving, i)
+		}
+	}
+	if len(surviving) == c.cfg.Channels {
+		c.remap = nil
+		return
+	}
+	if len(surviving) == 0 {
+		surviving = []int{0} // emergency channel
+	}
+	remap := make([]int, c.cfg.Channels)
+	for i := range remap {
+		remap[i] = surviving[i%len(surviving)]
+	}
+	c.remap = remap
 }
 
 // Stats returns per-channel counters (simple model only; empty for the

@@ -4,6 +4,8 @@ import (
 	"testing"
 	"testing/quick"
 
+	"starnuma/internal/fault"
+
 	"starnuma/internal/sim"
 )
 
@@ -183,5 +185,44 @@ func TestSimpleModelHasNoBankStats(t *testing.T) {
 	c := NewController("s", DefaultSocketConfig())
 	if c.BankStats() != nil {
 		t.Fatal("simple model returned bank stats")
+	}
+}
+
+func TestApplyFaultRemapsDeadChannel(t *testing.T) {
+	c := NewController("pool", DefaultPoolConfig()) // 2 channels
+	c.ApplyFault(fault.PoolState{Down: []int{0}})
+	// Blocks that interleave across both channels now all land on the
+	// survivor — the dead channel sees no traffic.
+	c.Access(0, 0, 64)
+	c.Access(0, 64, 64)
+	st := c.Stats()
+	if st[0].Messages != 0 || st[1].Messages != 2 {
+		t.Fatalf("traffic after ch0 death: %d/%d, want 0/2", st[0].Messages, st[1].Messages)
+	}
+}
+
+func TestApplyFaultHealthyIsNoOp(t *testing.T) {
+	c := NewController("pool", DefaultPoolConfig())
+	c.ApplyFault(fault.PoolState{})
+	c.Access(0, 0, 64)
+	c.Access(0, 64, 64)
+	st := c.Stats()
+	if st[0].Messages != 1 || st[1].Messages != 1 {
+		t.Fatalf("healthy fault state changed interleaving: %d/%d", st[0].Messages, st[1].Messages)
+	}
+}
+
+func TestApplyFaultDeadDeviceKeepsEmergencyChannel(t *testing.T) {
+	c := NewController("pool", DefaultPoolConfig())
+	c.ApplyFault(fault.PoolState{Dead: true})
+	// A dead device must still answer (the drain traffic has to go
+	// somewhere) — everything funnels through channel 0.
+	done, _ := c.Access(0, 128, 64)
+	if done <= 0 {
+		t.Fatalf("dead device refused access: %v", done)
+	}
+	st := c.Stats()
+	if st[0].Messages != 1 || st[1].Messages != 0 {
+		t.Fatalf("dead-device traffic %d/%d, want all on emergency ch0", st[0].Messages, st[1].Messages)
 	}
 }

@@ -1,0 +1,127 @@
+package migrate
+
+import (
+	"sort"
+
+	"starnuma/internal/topology"
+	"starnuma/internal/tracker"
+)
+
+// DrainPool evacuates pool-resident pages back to the sockets until at
+// most capacity remain — the graceful-degradation reaction to pool
+// faults (internal/fault): a dying DDR channel shrinks the capacity
+// budget and the overflow drains; a dead device drains everything, and
+// the caller then disables the pool so the policy degenerates to
+// socket-only (StarNUMA-Halt) migration.
+//
+// Draining is deterministic. With a tracker, whole regions drain
+// coldest-first (ascending access count, region index breaking ties —
+// T0's count-free tracker therefore drains in region order), each
+// region's pool pages landing on its lowest-numbered sharer socket so
+// the pages stay near their users; untouched regions fall back to
+// region-index round-robin. Without a tracker (baseline policies),
+// pages drain in page order to their hottest socket per st.Counts,
+// falling back to page-index round-robin. Region granularity means the
+// pool can end below capacity: the last drained region moves whole, as
+// migrations always do.
+//
+// DrainPool mutates st.PageHome and returns the migrations performed,
+// which the caller prepends to the phase's checkpoint so the timing
+// windows model the drain traffic.
+func DrainPool(st *State, capacity int) []Migration {
+	if !st.HasPool {
+		return nil
+	}
+	if capacity < 0 {
+		capacity = 0
+	}
+	resident := st.poolPages()
+	if resident <= capacity {
+		return nil
+	}
+	if st.Tracker == nil {
+		return drainByPage(st, capacity, resident)
+	}
+	return drainByRegion(st, capacity, resident)
+}
+
+// drainByRegion drains whole regions coldest-first.
+func drainByRegion(st *State, capacity, resident int) []Migration {
+	tbl := st.Tracker
+	type coldRegion struct {
+		r    int
+		heat uint32
+	}
+	var regions []coldRegion
+	for r := 0; r < tbl.NumRegions(); r++ {
+		first, count := tbl.PageRange(r)
+		for pg := first; pg < first+count && pg < len(st.PageHome); pg++ {
+			if st.PageHome[pg] == st.PoolNode {
+				regions = append(regions, coldRegion{r, tbl.Count(r)})
+				break
+			}
+		}
+	}
+	sort.Slice(regions, func(i, j int) bool {
+		if regions[i].heat != regions[j].heat {
+			return regions[i].heat < regions[j].heat
+		}
+		return regions[i].r < regions[j].r
+	})
+	var out []Migration
+	for _, cr := range regions {
+		if resident <= capacity {
+			break
+		}
+		dest := drainRegionDestination(st, tbl, cr.r)
+		first, count := tbl.PageRange(cr.r)
+		for pg := first; pg < first+count && pg < len(st.PageHome); pg++ {
+			if st.PageHome[pg] != st.PoolNode {
+				continue
+			}
+			out = append(out, Migration{Page: uint32(pg), From: st.PoolNode, To: dest})
+			st.PageHome[pg] = dest
+			resident--
+		}
+	}
+	return out
+}
+
+// drainRegionDestination picks where a drained region's pages land: the
+// lowest-numbered sharer socket (SharerSet is sorted), or region-index
+// round-robin when nothing shares it.
+func drainRegionDestination(st *State, tbl *tracker.Table, r int) topology.NodeID {
+	if sharers := tbl.SharerSet(r); len(sharers) > 0 {
+		return topology.NodeID(sharers[0])
+	}
+	return topology.NodeID(r % st.Sockets)
+}
+
+// drainByPage drains individual pages in page order (no tracker).
+func drainByPage(st *State, capacity, resident int) []Migration {
+	var out []Migration
+	for pg := range st.PageHome {
+		if resident <= capacity {
+			break
+		}
+		if st.PageHome[pg] != st.PoolNode {
+			continue
+		}
+		dest := drainPageDestination(st, uint32(pg))
+		out = append(out, Migration{Page: uint32(pg), From: st.PoolNode, To: dest})
+		st.PageHome[pg] = dest
+		resident--
+	}
+	return out
+}
+
+// drainPageDestination sends a page to its hottest socket when counts
+// are available, else page-index round-robin.
+func drainPageDestination(st *State, pg uint32) topology.NodeID {
+	if st.Counts != nil {
+		if s, c := st.Counts.Argmax(pg); c > 0 {
+			return topology.NodeID(s)
+		}
+	}
+	return topology.NodeID(int(pg) % st.Sockets)
+}

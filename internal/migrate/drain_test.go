@@ -1,0 +1,125 @@
+package migrate
+
+import (
+	"reflect"
+	"testing"
+
+	"starnuma/internal/topology"
+	"starnuma/internal/tracker"
+)
+
+// poolHome moves pages [first, first+n) into the pool.
+func poolHome(st *State, first, n int) {
+	for pg := first; pg < first+n; pg++ {
+		st.PageHome[pg] = st.PoolNode
+	}
+}
+
+func countPool(st *State) int {
+	n := 0
+	for _, h := range st.PageHome {
+		if h == poolNode {
+			n++
+		}
+	}
+	return n
+}
+
+func TestDrainPoolNoOpWithinCapacity(t *testing.T) {
+	tb := tracker.NewTable(tracker.T16, testPages, regionPages)
+	st := newState(tb, 512)
+	poolHome(st, 0, 64)
+	if ms := DrainPool(st, 64); ms != nil {
+		t.Fatalf("drained %d pages while within capacity", len(ms))
+	}
+	st.HasPool = false
+	if ms := DrainPool(st, 0); ms != nil {
+		t.Fatal("drained a poolless state")
+	}
+}
+
+func TestDrainPoolColdestRegionsFirst(t *testing.T) {
+	tb := tracker.NewTable(tracker.T16, testPages, regionPages)
+	st := newState(tb, 512)
+	// Regions 2 (hot) and 5 (cold) are pool-resident; shrink capacity so
+	// exactly one region must go — the cold one.
+	poolHome(st, 2*regionPages, regionPages)
+	poolHome(st, 5*regionPages, regionPages)
+	heatRegion(tb, 2, 100, 3, 4)
+	heatRegion(tb, 5, 1, 7)
+
+	ms := DrainPool(st, regionPages)
+	if len(ms) != regionPages {
+		t.Fatalf("drained %d pages, want %d", len(ms), regionPages)
+	}
+	first, _ := tb.PageRange(5)
+	for _, m := range ms {
+		if int(m.Page) < first || int(m.Page) >= first+regionPages {
+			t.Fatalf("drained page %d outside cold region 5", m.Page)
+		}
+		if m.From != poolNode || m.To != 7 {
+			t.Fatalf("migration %+v, want pool -> sharer socket 7", m)
+		}
+		if st.PageHome[m.Page] != 7 {
+			t.Fatal("PageHome not updated")
+		}
+	}
+	if countPool(st) != regionPages {
+		t.Fatalf("%d pages left in pool, want %d", countPool(st), regionPages)
+	}
+}
+
+func TestDrainPoolToZeroEvictsEverything(t *testing.T) {
+	tb := tracker.NewTable(tracker.T16, testPages, regionPages)
+	st := newState(tb, 512)
+	poolHome(st, 0, 3*regionPages)
+	ms := DrainPool(st, 0)
+	if len(ms) != 3*regionPages {
+		t.Fatalf("drained %d pages, want %d", len(ms), 3*regionPages)
+	}
+	if countPool(st) != 0 {
+		t.Fatalf("%d pages still pool-resident", countPool(st))
+	}
+}
+
+func TestDrainPoolDeterministic(t *testing.T) {
+	build := func() *State {
+		tb := tracker.NewTable(tracker.T16, testPages, regionPages)
+		st := newState(tb, 512)
+		poolHome(st, 0, 8*regionPages)
+		heatRegion(tb, 1, 50, 2, 9)
+		heatRegion(tb, 6, 50, 4)
+		return st
+	}
+	a := DrainPool(build(), 2*regionPages)
+	b := DrainPool(build(), 2*regionPages)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical states drained differently")
+	}
+}
+
+func TestDrainPoolByPageUsesCounts(t *testing.T) {
+	// No tracker: baseline path. Pages drain in page order to their
+	// hottest socket, or page-index round-robin without counts.
+	st := &State{
+		PageHome: make([]topology.NodeID, 64),
+		Sockets:  16,
+		HasPool:  true,
+		PoolNode: poolNode,
+		Counts:   NewPageCounts(64, 16),
+	}
+	poolHome(st, 0, 4)
+	st.Counts.Record(3, 0) // page 0 hottest on socket 3
+	ms := DrainPool(st, 0)
+	if len(ms) != 4 {
+		t.Fatalf("drained %d pages, want 4", len(ms))
+	}
+	if ms[0].Page != 0 || ms[0].To != 3 {
+		t.Fatalf("page 0 drained to %+v, want hottest socket 3", ms[0])
+	}
+	for _, m := range ms[1:] {
+		if want := topology.NodeID(int(m.Page) % st.Sockets); m.To != want {
+			t.Fatalf("cold page %d drained to %v, want round-robin %v", m.Page, m.To, want)
+		}
+	}
+}

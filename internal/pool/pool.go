@@ -12,6 +12,7 @@ package pool
 import (
 	"fmt"
 
+	"starnuma/internal/fault"
 	"starnuma/internal/link"
 	"starnuma/internal/sim"
 )
@@ -109,4 +110,18 @@ func (c Config) CapacityPages(footprintPages int) int {
 		n = 1
 	}
 	return n
+}
+
+// DegradedCapacityPages scales the page budget by the fraction of MHD
+// DDR channels surviving under st: pool-resident data lives interleaved
+// across all channels, so losing a channel forfeits its share of the
+// capacity (migrate drains the overflow). A dead device has no
+// capacity, which makes the migration policy fall back to socket-only
+// (StarNUMA-Halt) behaviour.
+func (c Config) DegradedCapacityPages(footprintPages int, st fault.PoolState) int {
+	failed := st.FailedChannels(c.Channels)
+	if st.Dead || failed >= c.Channels {
+		return 0
+	}
+	return c.CapacityPages(footprintPages) * (c.Channels - failed) / c.Channels
 }

@@ -3,6 +3,7 @@ package pool
 import (
 	"testing"
 
+	"starnuma/internal/fault"
 	"starnuma/internal/sim"
 )
 
@@ -65,5 +66,22 @@ func TestCapacityPages(t *testing.T) {
 	}
 	if got := c.CapacityPages(1); got != 1 {
 		t.Fatalf("capacity floor = %d, want 1", got)
+	}
+}
+
+func TestDegradedCapacityPages(t *testing.T) {
+	c := DefaultConfig() // 20% of footprint, 2 channels
+	full := c.CapacityPages(1000)
+	if got := c.DegradedCapacityPages(1000, fault.PoolState{}); got != full {
+		t.Fatalf("healthy degraded capacity %d != %d", got, full)
+	}
+	if got := c.DegradedCapacityPages(1000, fault.PoolState{Down: []int{1}}); got != full/2 {
+		t.Fatalf("one channel down: %d, want %d", got, full/2)
+	}
+	if got := c.DegradedCapacityPages(1000, fault.PoolState{Down: []int{0, 1}}); got != 0 {
+		t.Fatalf("all channels down: %d, want 0", got)
+	}
+	if got := c.DegradedCapacityPages(1000, fault.PoolState{Dead: true}); got != 0 {
+		t.Fatalf("dead device: %d, want 0", got)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"starnuma/internal/core"
+	"starnuma/internal/fault"
 )
 
 // TestCacheRoundTrip: a second runner over the same directory satisfies
@@ -185,5 +186,32 @@ func TestCacheReadOnlyDirDegrades(t *testing.T) {
 	cfg.Policy = core.PolicyPerfectBaseline
 	if _, err := New(Config{Jobs: 1, CacheDir: dir}).Run("t", sys, cfg, tinySpec(t, "BFS")); err != nil {
 		t.Fatalf("read-only cache dir failed the run: %v", err)
+	}
+}
+
+// TestCacheKeyIncludesFaultPlan: the fault plan content-hashes into the
+// cache key, so a degraded run can never be satisfied by a fault-free
+// cache entry (or vice versa), and editing a plan invalidates its runs.
+func TestCacheKeyIncludesFaultPlan(t *testing.T) {
+	c := newResultCache(t.TempDir(), "")
+	sys := core.StarNUMASystem()
+	cfg := tinySim()
+	spec := tinySpec(t, "BFS")
+
+	base, err := c.key(sys, cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = fault.FlapPlan()
+	flap, err := c.key(sys, cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flap == base {
+		t.Error("fault plan did not change the cache key")
+	}
+	cfg.Faults = fault.DegradePlan(4)
+	if k, _ := c.key(sys, cfg, spec); k == flap || k == base {
+		t.Error("different plans share a cache key")
 	}
 }

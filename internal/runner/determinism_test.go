@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"starnuma/internal/core"
+	"starnuma/internal/fault"
 	"starnuma/internal/tracker"
 )
 
@@ -40,6 +41,43 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 		}
 		if string(b) != string(ref) {
 			t.Fatalf("results at jobs=%d differ from jobs=1:\njobs=1: %s\njobs=%d: %s",
+				workers, ref, workers, b)
+		}
+	}
+}
+
+// TestFaultDeterminismAcrossWorkerCounts is the fault-injection analogue
+// of the pin above: the same fault plan + seed must serialize to
+// identical bytes at 1 and 8 workers (ISSUE acceptance criterion).
+func TestFaultDeterminismAcrossWorkerCounts(t *testing.T) {
+	spec := tinySpec(t, "CC")
+
+	cfg := tinySim()
+	cfg.Policy = core.PolicyStarNUMA
+	cfg.Phases = 4
+	cfgFlap := cfg
+	cfgFlap.Faults = fault.FlapPlan()
+	cfgKill := cfg
+	cfgKill.Faults = fault.DeadChannelPlan(0)
+
+	jobs := []Job{
+		{Label: "flap/CC", Sys: core.StarNUMASystem(), Cfg: cfgFlap, Spec: spec},
+		{Label: "deadch/CC", Sys: core.StarNUMASystem(), Cfg: cfgKill, Spec: spec},
+	}
+
+	var ref []byte
+	for _, workers := range []int{1, 8} {
+		results, err := New(Config{Jobs: workers}).RunAll(jobs)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", workers, err)
+		}
+		b := mustJSON(t, results)
+		if ref == nil {
+			ref = b
+			continue
+		}
+		if string(b) != string(ref) {
+			t.Fatalf("fault results at jobs=%d differ from jobs=1:\njobs=1: %s\njobs=%d: %s",
 				workers, ref, workers, b)
 		}
 	}
