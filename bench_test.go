@@ -16,8 +16,10 @@ import (
 	"testing"
 
 	"starnuma/internal/core"
+	"starnuma/internal/evtrace"
 	"starnuma/internal/exp"
 	"starnuma/internal/memdev"
+	"starnuma/internal/sim"
 	"starnuma/internal/workload"
 )
 
@@ -375,3 +377,18 @@ func mustSpec(b *testing.B, o exp.Options, name string) workload.Spec {
 }
 
 var _ = core.BaselineSystem // documentation anchor: benches drive internal/core via internal/exp
+
+// BenchmarkEvtraceDisabled pins the tracing-off hot path at zero
+// allocations: a nil *evtrace.Buffer must make Span/Instant free, so
+// untraced simulations pay nothing for the instrumentation points.
+func BenchmarkEvtraceDisabled(b *testing.B) {
+	var trc *evtrace.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		trc.Span("window", "w", "sim", 0, sim.Microsecond)
+		trc.Instant("migrate", "decide", "stepB", 0)
+	}
+	if trc.Len() != 0 {
+		b.Fatal("nil buffer recorded events")
+	}
+}

@@ -6,6 +6,7 @@
 //	expall [-quick] [-scale 0.25] [-jobs N] [-o results.txt]
 //	       [-nocache] [-cache DIR] [-benchjson BENCH_expall.json]
 //	       [-metrics manifest.json] [-faults plan.json]
+//	       [-trace trace.json] [-cpuprofile cpu.pprof] [-pprof :6060]
 //
 // Experiments execute on internal/runner's parallel scheduler (-jobs
 // worker slots, default GOMAXPROCS) with a persistent result cache
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"starnuma/internal/exp"
+	"starnuma/internal/prof"
 )
 
 // benchExperiment is one per-experiment timing record of -benchjson.
@@ -49,7 +51,14 @@ func main() {
 		benchJSON = flag.String("benchjson", "", "write suite/per-experiment timings to this JSON file")
 	)
 	cli := exp.AddCLIFlags(flag.CommandLine, true)
+	pf := prof.AddFlags(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := pf.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "expall: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	opts, err := cli.Options(os.Stderr)
 	if err != nil {
@@ -101,6 +110,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "expall: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if err := r.WriteTrace(); err != nil {
+		fmt.Fprintf(os.Stderr, "expall: %v\n", err)
+		os.Exit(1)
 	}
 	if *benchJSON != "" {
 		report := benchReport{

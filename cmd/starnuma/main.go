@@ -6,6 +6,8 @@
 //	starnuma -exp fig8a [-quick] [-scale 0.25] [-phases 6] [-workloads BFS,TC]
 //	starnuma -exp fig8a -metrics manifest.json   # collect instrumentation
 //	starnuma -exp fig8a -faults plan.json        # inject fabric faults
+//	starnuma -exp fig8a -trace trace.json        # record an event trace
+//	starnuma -exp fig8a -cpuprofile cpu.pprof    # profile the run
 //	starnuma -list
 //
 // Experiment identifiers follow the paper's figure/table numbers; see
@@ -18,6 +20,7 @@ import (
 	"os"
 
 	"starnuma/internal/exp"
+	"starnuma/internal/prof"
 )
 
 func main() {
@@ -28,7 +31,14 @@ func main() {
 		chart  = flag.Int("chart", -1, "render the given column index as ASCII bars instead")
 	)
 	cli := exp.AddCLIFlags(flag.CommandLine, false)
+	pf := prof.AddFlags(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := pf.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "starnuma: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *list {
 		for _, e := range exp.Experiments() {
@@ -68,5 +78,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "starnuma: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if err := r.WriteTrace(); err != nil {
+		fmt.Fprintf(os.Stderr, "starnuma: %v\n", err)
+		os.Exit(1)
 	}
 }

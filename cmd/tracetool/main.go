@@ -1,0 +1,262 @@
+// Command tracetool inspects event traces recorded with -trace
+// (internal/evtrace Chrome trace_event JSON).
+//
+// Usage:
+//
+//	tracetool summarize [-require migrate,window] trace.json
+//	tracetool slice -from 0 -to 50us [-cat migrate,tlb] trace.json
+//	tracetool top [-n 10] [-cat coherence] trace.json
+//	tracetool export [-o out.json] trace.json
+//
+// summarize prints per-category event/span counts and durations, and
+// with -require exits nonzero unless every listed category recorded at
+// least one event (the CI smoke gate). slice filters by time range
+// and/or categories and re-encodes the result. top lists the longest
+// spans. export validates and canonically re-encodes a trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"starnuma/internal/evtrace"
+	"starnuma/internal/sim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "summarize":
+		err = summarize(os.Args[2:])
+	case "slice":
+		err = slice(os.Args[2:])
+	case "top":
+		err = top(os.Args[2:])
+	case "export":
+		err = export(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "tracetool: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracetool: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  tracetool summarize [-require cats] trace.json
+  tracetool slice -from T -to T [-cat cats] [-o out.json] trace.json
+  tracetool top [-n N] [-cat cats] trace.json
+  tracetool export [-o out.json] trace.json
+times accept ps (bare), ns, us, ms suffixes; cats are comma-separated`)
+}
+
+// load reads and decodes the single positional trace argument.
+func load(fs *flag.FlagSet, args []string) (*evtrace.Trace, error) {
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() != 1 {
+		return nil, fmt.Errorf("expected exactly one trace file, got %d args", fs.NArg())
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return nil, err
+	}
+	return evtrace.Decode(data)
+}
+
+// parseTime parses a time operand: picoseconds bare, or with an
+// ns/us/ms suffix.
+func parseTime(s string) (sim.Time, error) {
+	mult := sim.Time(1)
+	switch {
+	case strings.HasSuffix(s, "ms"):
+		s, mult = strings.TrimSuffix(s, "ms"), sim.Millisecond
+	case strings.HasSuffix(s, "us"):
+		s, mult = strings.TrimSuffix(s, "us"), sim.Microsecond
+	case strings.HasSuffix(s, "ns"):
+		s, mult = strings.TrimSuffix(s, "ns"), sim.Nanosecond
+	case strings.HasSuffix(s, "ps"):
+		s = strings.TrimSuffix(s, "ps")
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad time %q: %w", s, err)
+	}
+	return sim.Time(v * float64(mult)), nil
+}
+
+// catSet parses a comma-separated category list; nil means "all".
+func catSet(s string) map[string]bool {
+	if s == "" {
+		return nil
+	}
+	set := make(map[string]bool)
+	for _, c := range strings.Split(s, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			set[c] = true
+		}
+	}
+	return set
+}
+
+func summarize(args []string) error {
+	fs := flag.NewFlagSet("summarize", flag.ContinueOnError)
+	require := fs.String("require", "", "comma-separated categories that must have recorded events (exit 1 otherwise)")
+	tr, err := load(fs, args)
+	if err != nil {
+		return err
+	}
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	stats := tr.CatStats()
+	fmt.Printf("%-12s %8s %8s %14s %14s\n", "category", "events", "spans", "total", "max")
+	var total int
+	for _, st := range stats {
+		total += st.Events
+		fmt.Printf("%-12s %8d %8d %13.3fus %13.3fus\n",
+			st.Cat, st.Events, st.Spans, st.TotalDur.Nanos()/1000, st.MaxDur.Nanos()/1000)
+	}
+	fmt.Printf("%d events in %d categories\n", total, len(stats))
+	if *require != "" {
+		byCat := make(map[string]int)
+		for _, st := range stats {
+			byCat[st.Cat] = st.Events
+		}
+		var missing []string
+		for c := range catSet(*require) {
+			if byCat[c] == 0 {
+				missing = append(missing, c)
+			}
+		}
+		if len(missing) > 0 {
+			sort.Strings(missing)
+			return fmt.Errorf("required categories with no events: %s", strings.Join(missing, ", "))
+		}
+	}
+	return nil
+}
+
+// filter returns the events within [from, to] (spans by overlap) whose
+// category is in cats (nil = all). Metadata events always pass so the
+// sliced trace stays schema-valid.
+func filter(tr *evtrace.Trace, from, to sim.Time, cats map[string]bool) *evtrace.Trace {
+	out := &evtrace.Trace{}
+	for _, e := range tr.Events {
+		if e.Ph == evtrace.PhMeta {
+			out.Events = append(out.Events, e)
+			continue
+		}
+		if cats != nil && !cats[e.Cat] {
+			continue
+		}
+		if e.Ts+e.Dur < from || (to > 0 && e.Ts > to) {
+			continue
+		}
+		out.Events = append(out.Events, e)
+	}
+	return out
+}
+
+func slice(args []string) error {
+	fs := flag.NewFlagSet("slice", flag.ContinueOnError)
+	fromS := fs.String("from", "0", "range start (e.g. 10us)")
+	toS := fs.String("to", "0", "range end (0 = unbounded)")
+	cat := fs.String("cat", "", "comma-separated category filter")
+	out := fs.String("o", "", "output file (default stdout)")
+	tr, err := load(fs, args)
+	if err != nil {
+		return err
+	}
+	from, err := parseTime(*fromS)
+	if err != nil {
+		return err
+	}
+	to, err := parseTime(*toS)
+	if err != nil {
+		return err
+	}
+	b, err := filter(tr, from, to, catSet(*cat)).Encode()
+	if err != nil {
+		return err
+	}
+	return writeOut(*out, b)
+}
+
+func top(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	n := fs.Int("n", 10, "number of spans to list")
+	cat := fs.String("cat", "", "comma-separated category filter")
+	tr, err := load(fs, args)
+	if err != nil {
+		return err
+	}
+	cats := catSet(*cat)
+	var spans []evtrace.TraceEvent
+	for _, e := range tr.Events {
+		if e.Ph != evtrace.PhSpan || (cats != nil && !cats[e.Cat]) {
+			continue
+		}
+		spans = append(spans, e)
+	}
+	// Longest first; ties break on (ts, name) so output is stable.
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Dur != spans[j].Dur {
+			return spans[i].Dur > spans[j].Dur
+		}
+		if spans[i].Ts != spans[j].Ts {
+			return spans[i].Ts < spans[j].Ts
+		}
+		return spans[i].Name < spans[j].Name
+	})
+	if len(spans) > *n {
+		spans = spans[:*n]
+	}
+	fmt.Printf("%-12s %-24s %14s %14s\n", "category", "name", "ts", "dur")
+	for _, e := range spans {
+		fmt.Printf("%-12s %-24s %13.3fus %13.3fus\n",
+			e.Cat, e.Name, e.Ts.Nanos()/1000, e.Dur.Nanos()/1000)
+	}
+	return nil
+}
+
+func export(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ContinueOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	tr, err := load(fs, args)
+	if err != nil {
+		return err
+	}
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	b, err := tr.Encode()
+	if err != nil {
+		return err
+	}
+	return writeOut(*out, b)
+}
+
+func writeOut(path string, b []byte) error {
+	if path == "" {
+		_, err := os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"testing"
+
+	"starnuma/internal/evtrace"
+	"starnuma/internal/sim"
+)
+
+func TestParseTime(t *testing.T) {
+	cases := []struct {
+		in   string
+		want sim.Time
+	}{
+		{"0", 0},
+		{"1500", 1500},
+		{"1500ps", 1500},
+		{"2ns", 2 * sim.Nanosecond},
+		{"1.5us", sim.Microsecond + 500*sim.Nanosecond},
+		{"3ms", 3 * sim.Millisecond},
+	}
+	for _, c := range cases {
+		got, err := parseTime(c.in)
+		if err != nil {
+			t.Fatalf("parseTime(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("parseTime(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	if _, err := parseTime("abcus"); err == nil {
+		t.Error("parseTime(abcus) should fail")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	buf := evtrace.NewBuffer()
+	buf.Span("window", "w0", "sim", 0, 10*sim.Microsecond)
+	buf.Span("migrate", "m", "socket0", 5*sim.Microsecond, sim.Microsecond)
+	buf.Instant("tlb", "shoot", "socket1", 20*sim.Microsecond)
+
+	bd := evtrace.NewBuilder()
+	bd.Add("", buf)
+	tr := bd.Build()
+	meta := 0
+	for _, e := range tr.Events {
+		if e.Ph == evtrace.PhMeta {
+			meta++
+		}
+	}
+
+	// Category filter keeps metadata plus the matching events.
+	got := filter(tr, 0, 0, map[string]bool{"migrate": true})
+	if want := meta + 1; len(got.Events) != want {
+		t.Errorf("cat filter: %d events, want %d", len(got.Events), want)
+	}
+
+	// Time filter: [0, 4us] overlaps the window span only.
+	got = filter(tr, 0, 4*sim.Microsecond, nil)
+	if want := meta + 1; len(got.Events) != want {
+		t.Errorf("time filter: %d events, want %d", len(got.Events), want)
+	}
+
+	// Unbounded end keeps everything.
+	got = filter(tr, 0, 0, nil)
+	if len(got.Events) != len(tr.Events) {
+		t.Errorf("no-op filter: %d events, want %d", len(got.Events), len(tr.Events))
+	}
+}
+
+func TestCatSet(t *testing.T) {
+	if catSet("") != nil {
+		t.Error("empty list should be nil (match all)")
+	}
+	set := catSet("migrate, window,")
+	if len(set) != 2 || !set["migrate"] || !set["window"] {
+		t.Errorf("catSet = %v", set)
+	}
+}

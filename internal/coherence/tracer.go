@@ -1,0 +1,66 @@
+package coherence
+
+import (
+	"strconv"
+
+	"starnuma/internal/evtrace"
+	"starnuma/internal/sim"
+	"starnuma/internal/topology"
+)
+
+// TxnTracer samples directory transactions into an event-trace buffer,
+// annotated with the hop count of the coherence path taken (§III-C /
+// Fig. 4: 2 hops for a remote memory access, 3 for a socket-homed block
+// transfer, 4 for a pool-homed one). Recording every transaction would
+// dwarf every other event class, so only every sample-th transaction is
+// recorded; the counter still advances deterministically for all of
+// them, keeping the selection reproducible.
+//
+// A nil *TxnTracer is the disabled tracer: Record is a free no-op, so
+// the timing layer calls it unconditionally.
+type TxnTracer struct {
+	buf    *evtrace.Buffer
+	sample uint64
+	n      uint64
+}
+
+// NewTxnTracer creates a tracer recording every sample-th transaction
+// into buf. A nil buffer or non-positive sample yields a nil (disabled)
+// tracer.
+func NewTxnTracer(buf *evtrace.Buffer, sample int) *TxnTracer {
+	if buf == nil || sample <= 0 {
+		return nil
+	}
+	return &TxnTracer{buf: buf, sample: uint64(sample)}
+}
+
+// hops returns the network hop count of the path res prescribes for a
+// request from requester to home.
+func hops(requester, home topology.NodeID, res Result) int {
+	switch res.Outcome {
+	case BlockTransfer3Hop:
+		return 3
+	case BlockTransfer4Hop:
+		return 4
+	default:
+		if requester == home {
+			return 0
+		}
+		return 2 // request out, data back
+	}
+}
+
+// Record notes one directory transaction spanning [ts, ts+dur) on the
+// requester's lane. Only sampled transactions emit an event.
+func (t *TxnTracer) Record(ts, dur sim.Time, lane string, requester, home topology.NodeID, res Result) {
+	if t == nil {
+		return
+	}
+	t.n++
+	if t.sample > 1 && t.n%t.sample != 1 {
+		return
+	}
+	t.buf.SpanArgs("coherence", res.Outcome.String(), lane, ts, dur,
+		evtrace.Arg{Key: "hops", Val: strconv.Itoa(hops(requester, home, res))},
+		evtrace.Arg{Key: "home", Val: strconv.Itoa(int(home))})
+}

@@ -219,6 +219,17 @@ type SimConfig struct {
 	// the config, so it content-hashes into the runner's cache key.
 	Faults *fault.Plan
 
+	// Trace enables the event-trace recorder (internal/evtrace):
+	// checkpoint-window spans, migration decisions, TLB-shootdown
+	// stalls, sampled coherence transactions and fault-adjusted link
+	// sends, assembled into Chrome trace_event JSON by the exp/cmd
+	// layer. Recording is passive — results are bit-identical with it
+	// on or off — and the field is excluded from JSON so enabling it
+	// does not change the runner's content-addressed cache key (cached
+	// results carry no trace, so the CLI disables the cache when
+	// tracing).
+	Trace bool `json:"-"`
+
 	// ModelTLB enables the translation subsystem: per-core TLBs, the
 	// shared TLB directory for targeted shootdowns (§III-D3), and
 	// page-walk penalties for shootdown-invalidated translations.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"starnuma/internal/evtrace"
 	"starnuma/internal/metrics"
 	"starnuma/internal/stats"
 	"starnuma/internal/topology"
@@ -90,6 +91,9 @@ func (p *Plan) NewResult() *Result {
 
 		FaultDrainedPages: p.tr.DrainedPages,
 	}
+	if p.cfg.Trace {
+		res.Trace = evtrace.NewBuffer()
+	}
 	topo := topology.New(p.sys.Topology)
 	res.AMAT.SetUnloadedLatencies(unloadedLatencies(topo,
 		p.sys.SocketMem.OnChip+p.sys.SocketMem.DRAMLatency))
@@ -128,6 +132,17 @@ func (r *Result) MergeWindow(w Window) {
 		}
 		r.Metrics.Merge(w.stats.met)
 	}
+	if r.Trace != nil {
+		// Windows each simulate from their own t=0; shifting by the
+		// cumulative simulated time lays them end to end. The recorded
+		// start offsets later anchor step B's phase-clock events.
+		if w.stats.trc != nil {
+			w.stats.trc.Shift(r.traceOff)
+			r.Trace.Append(w.stats.trc)
+		}
+		r.windowOffsets = append(r.windowOffsets, r.traceOff)
+		r.traceOff += w.stats.simTime
+	}
 }
 
 // Assemble merges the windows in slice order and computes the derived
@@ -139,6 +154,9 @@ func (p *Plan) Assemble(windows []Window) *Result {
 	res := p.NewResult()
 	for _, w := range windows {
 		res.MergeWindow(w)
+	}
+	if res.Trace != nil && p.tr.Trace != nil {
+		res.Trace.Append(translateStepB(p.tr.Trace, res.windowOffsets, res.traceOff))
 	}
 	res.IPC = stats.Mean(res.ipcs)
 	if math.IsNaN(res.IPC) || math.IsInf(res.IPC, 0) {

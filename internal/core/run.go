@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"starnuma/internal/coherence"
+	"starnuma/internal/evtrace"
 	"starnuma/internal/metrics"
 	"starnuma/internal/migrate"
 	"starnuma/internal/sim"
@@ -67,9 +68,22 @@ type Result struct {
 	// It rides through the runner's result cache like every other field.
 	Metrics *metrics.Snapshot `json:",omitempty"`
 
+	// Trace is the merged event-trace buffer (step-C windows laid end to
+	// end on one timeline, then step B's phase-clock events translated
+	// onto it); nil unless SimConfig.Trace. Excluded from JSON so traces
+	// never enter the result cache — a cache hit skips simulation and
+	// therefore cannot produce one.
+	Trace *evtrace.Buffer `json:"-"`
+
 	// ipcs accumulates per-core post-warmup IPC samples across merged
 	// windows, in checkpoint order; Plan.Assemble reduces them to IPC.
 	ipcs []float64
+	// traceOff is the cumulative simulated time of merged windows: the
+	// timeline offset the next window's events shift by. windowOffsets
+	// records each merged window's start offset, in merge order, for
+	// translating step B's phase-clock events.
+	traceOff      sim.Time
+	windowOffsets []sim.Time
 }
 
 // CoherenceTxnIntervalNS returns the mean simulated time between

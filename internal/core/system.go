@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"starnuma/internal/cache"
 	"starnuma/internal/coherence"
+	"starnuma/internal/evtrace"
 	"starnuma/internal/fault"
 	"starnuma/internal/link"
 	"starnuma/internal/memdev"
@@ -72,6 +74,11 @@ type windowStats struct {
 	// met is the window's instrumentation snapshot; nil unless
 	// SimConfig.CollectMetrics.
 	met *metrics.Snapshot
+	// trc is the window's event-trace buffer, with timestamps on the
+	// window's local clock (t=0 at window start); nil unless
+	// SimConfig.Trace. Result.MergeWindow shifts it onto the run's
+	// continuous timeline.
+	trc *evtrace.Buffer
 }
 
 // timingSystem wires the substrate models together for one window.
@@ -115,6 +122,14 @@ type timingSystem struct {
 	// disabled, and collection never alters timing.
 	met *metrics.Registry
 
+	// Event tracing (nil/zero when cfg.Trace is off): precomputed
+	// per-node lane names, the sampled coherence-transaction tracer,
+	// and per-window caps on migration and TLB-walk spans.
+	lanes   []string
+	txnTrc  *coherence.TxnTracer
+	trcMigN int
+	trcTLBN int
+
 	w windowStats
 }
 
@@ -138,6 +153,11 @@ func newTimingSystem(sys SystemConfig, cfg SimConfig, gen AccessSource,
 	if cfg.CollectMetrics {
 		ts.met = metrics.New()
 		ts.eng.SetMetrics(ts.met)
+	}
+	if cfg.Trace {
+		ts.w.trc = evtrace.NewBuffer()
+		ts.lanes = traceLanes(topo)
+		ts.txnTrc = coherence.NewTxnTracer(ts.w.trc, coherenceTraceSample)
 	}
 	localMissCycles := float64(ts.localUnloaded()) / ts.cyclePS
 	ts.ipc0 = gen.Spec().ZeroLoadIPC(localMissCycles)
@@ -171,6 +191,11 @@ func newTimingSystem(sys SystemConfig, cfg SimConfig, gen AccessSource,
 		if inj := ts.sched.Link(ch.Kind.String(), ch.From, ch.To, chk.Phase); inj != nil {
 			l.SetFault(inj)
 			ts.injectors = append(ts.injectors, inj)
+			if ts.w.trc != nil {
+				// Fault-adjusted sends trace onto a "fault" process with
+				// one thread per degraded link.
+				l.SetTrace(ts.w.trc, "fault/"+l.Name())
+			}
 		}
 		ts.links = append(ts.links, l)
 	}
@@ -349,6 +374,12 @@ func (ts *timingSystem) scheduleMigrations(chk Checkpoint) {
 				from = m.To
 			}
 			ts.sendPage(now, from, m.To, func(arr sim.Time) {
+				if ts.w.trc != nil && ts.trcMigN < migrationTraceCap {
+					ts.trcMigN++
+					ts.w.trc.SpanArgs("migrate", "page move", ts.lanes[m.To], now, arr-now,
+						evtrace.Arg{Key: "page", Val: strconv.FormatUint(uint64(page), 10)},
+						evtrace.Arg{Key: "from", Val: ts.lanes[from]})
+				}
 				fire := func(sim.Time) {
 					waiters := ts.inFlight[page]
 					delete(ts.inFlight, page)
@@ -473,6 +504,11 @@ func (ts *timingSystem) issueAccess(cs *coreState, a workload.Access, issued sim
 	if ts.tlbs != nil {
 		if _, shot := ts.tlbs.Access(cs.id, a.Page); shot && ts.cfg.PageWalkPenalty > 0 {
 			delay := ts.cfg.PageWalkPenalty
+			if ts.w.trc != nil && ts.trcTLBN < tlbTraceCap {
+				ts.trcTLBN++
+				ts.w.trc.SpanArgs("tlb", "shootdown walk", ts.lanes[cs.socket], now, delay,
+					evtrace.Arg{Key: "core", Val: strconv.Itoa(cs.id)})
+			}
 			ts.eng.AtKind(now+delay, "walk", func(sim.Time) { ts.issueAccessAfterWalk(cs, a, issued, record) })
 			return
 		}
@@ -550,6 +586,9 @@ func (ts *timingSystem) issueAccessAfterWalk(cs *coreState, a workload.Access, i
 			if record {
 				ts.w.amat.Observe(at, now2-issued)
 				ts.w.misses++
+			}
+			if ts.txnTrc != nil {
+				ts.txnTrc.Record(issued, now2-issued, ts.lanes[socket], socket, home, res)
 			}
 			// Charge the miss's latency, divided by the core's MLP, as
 			// serial stall on the core timeline: the standard additive
@@ -726,6 +765,13 @@ func runWindow(sys SystemConfig, cfg SimConfig, gen AccessSource,
 	if ts.met != nil {
 		ts.harvest(chk.Phase)
 		ts.w.met = ts.met.Snapshot()
+	}
+	if ts.w.trc != nil {
+		// The whole window as one span on the "sim" lane, recorded last
+		// so its duration is the settled window length.
+		ts.w.trc.SpanArgs("window", "window "+strconv.Itoa(chk.Phase), "sim", 0, ts.w.simTime,
+			evtrace.Arg{Key: "phase", Val: strconv.Itoa(chk.Phase)},
+			evtrace.Arg{Key: "migrations", Val: strconv.Itoa(ts.w.migrModeled)})
 	}
 	return ts.w
 }

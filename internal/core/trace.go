@@ -1,0 +1,71 @@
+package core
+
+import (
+	"strconv"
+
+	"starnuma/internal/evtrace"
+	"starnuma/internal/sim"
+	"starnuma/internal/topology"
+)
+
+// Trace event-volume controls. Timing windows generate far more raw
+// events than a readable timeline wants, so high-frequency classes are
+// sampled or capped per window; aggregate counts remain exact in
+// internal/metrics.
+const (
+	// coherenceTraceSample records every N-th directory transaction.
+	// Directory lookups happen on every LLC miss, so even a quick run
+	// sees millions; this keeps coherence roughly in proportion to the
+	// other event classes.
+	coherenceTraceSample = 256
+	// migrationTraceCap bounds per-window modeled-migration spans.
+	migrationTraceCap = 128
+	// tlbTraceCap bounds per-window shootdown-walk spans.
+	tlbTraceCap = 256
+)
+
+// traceLanes precomputes per-node lane names ("socket0".."socketN",
+// "pool") so hot-path recording does no formatting.
+func traceLanes(topo *topology.Topology) []string {
+	nodes := topo.Sockets()
+	if topo.HasPool() {
+		nodes++
+	}
+	lanes := make([]string, nodes)
+	for n := range lanes {
+		if topo.HasPool() && topology.NodeID(n) == topo.PoolNode() {
+			lanes[n] = "pool"
+		} else {
+			lanes[n] = "socket" + strconv.Itoa(n)
+		}
+	}
+	return lanes
+}
+
+// translateStepB maps step B's phase-clock events onto the assembled
+// timeline: an event at phase-clock tick p lands at the start of
+// timing window p (windows are merged in checkpoint order, so offset
+// index == phase), and a span of d ticks stretches to window p+d's
+// start. Ticks beyond the last window clamp to the timeline's end.
+func translateStepB(b *evtrace.Buffer, offsets []sim.Time, total sim.Time) *evtrace.Buffer {
+	out := evtrace.NewBuffer()
+	off := func(k int64) sim.Time {
+		if k < 0 {
+			k = 0
+		}
+		if int(k) < len(offsets) {
+			return offsets[k]
+		}
+		return total
+	}
+	for _, e := range b.Events {
+		tick := int64(e.Ts)
+		ne := e
+		ne.Ts = off(tick)
+		if e.Ph == evtrace.PhSpan {
+			ne.Dur = off(tick+int64(e.Dur)) - ne.Ts
+		}
+		out.Events = append(out.Events, ne)
+	}
+	return out
+}

@@ -2,10 +2,13 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
+	"starnuma/internal/evtrace"
 	"starnuma/internal/fault"
 	"starnuma/internal/metrics"
 	"starnuma/internal/migrate"
+	"starnuma/internal/sim"
 	"starnuma/internal/topology"
 	"starnuma/internal/tracker"
 	"starnuma/internal/workload"
@@ -41,6 +44,11 @@ type TraceResult struct {
 	// decision series, pool residency); nil unless
 	// SimConfig.CollectMetrics.
 	Metrics *metrics.Snapshot
+	// Trace is step B's event buffer — phase spans, migration/drain
+	// decisions — on the phase-index clock (Ts = phase number);
+	// Plan.Assemble translates it onto the timing windows' timeline.
+	// nil unless SimConfig.Trace.
+	Trace *evtrace.Buffer
 }
 
 // phaseAccesses returns how many misses one core generates in a step-B
@@ -137,6 +145,10 @@ func TraceSimulate(sys SystemConfig, cfg SimConfig, gen AccessSource) (*TraceRes
 	if cfg.CollectMetrics {
 		reg = metrics.New()
 	}
+	if cfg.Trace {
+		res.Trace = evtrace.NewBuffer()
+		st.Trace = res.Trace
+	}
 	sched := fault.NewSchedule(cfg.Faults)
 
 	// Checkpoint 0: nothing placed yet, no in-flight migrations; pages
@@ -168,10 +180,18 @@ func TraceSimulate(sys SystemConfig, cfg SimConfig, gen AccessSource) (*TraceRes
 			}
 		})
 		counts.AddInto(totals)
+		if res.Trace != nil {
+			// One span per trace phase on the phase-index clock: tick
+			// `phase` to tick `phase+1` (a Dur of 1 tick).
+			res.Trace.Span("phase", "phase "+strconv.Itoa(phase), "stepB", sim.Time(phase), 1)
+		}
 
 		if phase+1 >= cfg.Phases {
 			break // no decision needed after the final phase
 		}
+		// Decisions made now are modeled during phase+1's timing window,
+		// so their events anchor at that window's start.
+		st.BeginTracePhase(sim.Time(phase + 1))
 		// Snapshot the end-of-phase placement, then let the policy decide
 		// the migrations that will occur *during* the next phase (§IV-A2:
 		// "the N-th checkpoint indicates the set of migrations that must
@@ -203,6 +223,13 @@ func TraceSimulate(sys SystemConfig, cfg SimConfig, gen AccessSource) (*TraceRes
 			// Drains go first so the timing window models the drain
 			// traffic within its migration share.
 			pending = append(drained, pending...)
+		}
+		if res.Trace != nil {
+			after := policyStats(policy)
+			res.Trace.InstantArgs("migrate", "decide", "stepB/decide", sim.Time(phase+1),
+				evtrace.Arg{Key: "migrations", Val: strconv.Itoa(len(pending))},
+				evtrace.Arg{Key: "drained", Val: strconv.Itoa(len(drained))},
+				evtrace.Arg{Key: "pingpong_skips", Val: strconv.FormatUint(after.PingPongSkips-before.PingPongSkips, 10)})
 		}
 		if reg != nil {
 			after := policyStats(policy)

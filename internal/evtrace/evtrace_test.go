@@ -1,0 +1,205 @@
+package evtrace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"starnuma/internal/sim"
+)
+
+func TestNilBufferIsSafeNoOp(t *testing.T) {
+	var b *Buffer
+	if b.Enabled() {
+		t.Fatal("nil buffer reports enabled")
+	}
+	if b.Len() != 0 {
+		t.Fatal("nil buffer has nonzero length")
+	}
+	// None of these may panic or record.
+	b.Span("cat", "s", "lane", 1, 2)
+	b.SpanArgs("cat", "s", "lane", 1, 2, Arg{"k", "v"})
+	b.Instant("cat", "i", "lane", 3)
+	b.InstantArgs("cat", "i", "lane", 3, Arg{"k", "v"})
+	b.Shift(100)
+	b.Append(NewBuffer())
+	if b.Len() != 0 {
+		t.Fatal("nil buffer recorded events")
+	}
+}
+
+func TestDisabledHotPathAllocatesNothing(t *testing.T) {
+	var b *Buffer
+	allocs := testing.AllocsPerRun(1000, func() {
+		b.Span("migrate", "move", "socket0", 10, 20)
+		b.Instant("tlb", "shootdown", "socket1", 30)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled recorder allocated %v times per op", allocs)
+	}
+}
+
+func TestRecordShiftAppend(t *testing.T) {
+	w0 := NewBuffer()
+	w0.Span("window", "w0", "core", 0, 100)
+	w1 := NewBuffer()
+	w1.Span("window", "w1", "core", 0, 50)
+	w1.Shift(100) // lay window 1 after window 0
+
+	all := NewBuffer()
+	all.Append(w0)
+	all.Append(w1)
+	if all.Len() != 2 {
+		t.Fatalf("got %d events, want 2", all.Len())
+	}
+	if got := all.Events[1].Ts; got != 100 {
+		t.Fatalf("shifted ts = %v, want 100", got)
+	}
+}
+
+func TestBuilderAssignsDeterministicLanes(t *testing.T) {
+	build := func() *Trace {
+		b := NewBuffer()
+		b.Span("window", "w0", "socket1", 0, 10)
+		b.Span("window", "w0", "socket0/core2", 5, 10)
+		b.Instant("pool", "drain", "pool", 7)
+		bd := NewBuilder()
+		bd.Add("fig8a/BFS", b)
+		return bd.Build()
+	}
+	t1, t2 := build(), build()
+	if !reflect.DeepEqual(t1, t2) {
+		t.Fatal("Build is not deterministic")
+	}
+	e1, err := t1.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := t2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(e1, e2) {
+		t.Fatal("Encode is not byte-stable")
+	}
+	if err := t1.Validate(); err != nil {
+		t.Fatalf("built trace fails validation: %v", err)
+	}
+	// Sorted process names get ascending pids: fig8a/BFS/pool=1,
+	// fig8a/BFS/socket0=2, fig8a/BFS/socket1=3.
+	var names []string
+	for _, e := range t1.Events {
+		if e.Ph == PhMeta && e.Name == "process_name" {
+			names = append(names, e.Args["name"])
+		}
+	}
+	want := []string{"fig8a/BFS/pool", "fig8a/BFS/socket0", "fig8a/BFS/socket1"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("process names = %v, want %v", names, want)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	b := NewBuffer()
+	b.SpanArgs("migrate", "move", "socket0", 123456789, 987654, Arg{"pages", "64"}, Arg{"to", "pool"})
+	b.Instant("fault", "flap", "link/cxl", 42)
+	bd := NewBuilder()
+	bd.Add("", b)
+	tr := bd.Build()
+
+	enc, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, dec) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", dec, tr)
+	}
+	// Picosecond resolution must survive: 123456789 ps = 123.456789 µs.
+	if !bytes.Contains(enc, []byte(`"ts":123.456789`)) {
+		t.Fatalf("canonical ts encoding missing from %s", enc)
+	}
+}
+
+func TestDecodeLegacyArrayForm(t *testing.T) {
+	raw := `[{"name":"process_name","ph":"M","ts":0,"dur":0,"pid":1,"tid":0,"args":{"name":"p"}},
+	         {"name":"x","cat":"c","ph":"X","ts":1.5,"dur":2,"pid":1,"tid":0}]`
+	tr, err := Decode([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 2 {
+		t.Fatalf("got %d events, want 2", len(tr.Events))
+	}
+	if tr.Events[1].Ts != 1_500_000 {
+		t.Fatalf("ts = %v ps, want 1500000", tr.Events[1].Ts)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"", "{", `{"traceEvents":1}`, `[{"ts":"zebra"}]`, `[{"ts":1e400}]`} {
+		if _, err := Decode([]byte(bad)); err == nil {
+			t.Fatalf("Decode(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestValidateCatchesSchemaViolations(t *testing.T) {
+	named := TraceEvent{Name: "process_name", Ph: PhMeta, Pid: 1, Args: map[string]string{"name": "p"}}
+	cases := []struct {
+		name string
+		ev   TraceEvent
+		want string
+	}{
+		{"unknown phase", TraceEvent{Name: "x", Ph: "B", Pid: 1}, "unknown phase"},
+		{"empty name", TraceEvent{Ph: PhSpan, Pid: 1}, "empty name"},
+		{"negative dur", TraceEvent{Name: "x", Ph: PhSpan, Pid: 1, Dur: -1}, "negative"},
+		{"unnamed pid", TraceEvent{Name: "x", Ph: PhSpan, Pid: 2}, "process_name"},
+	}
+	for _, tc := range cases {
+		tr := &Trace{Events: []TraceEvent{named, tc.ev}}
+		err := tr.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestFormatParsePSExact(t *testing.T) {
+	for _, ps := range []sim.Time{0, 1, 999_999, 1_000_000, 123_456_789_012_345, -42} {
+		got, err := parsePS(formatPS(ps))
+		if err != nil {
+			t.Fatalf("parsePS(formatPS(%d)): %v", ps, err)
+		}
+		if got != ps {
+			t.Fatalf("round trip %d -> %q -> %d", ps, formatPS(ps), got)
+		}
+	}
+}
+
+func TestCatStats(t *testing.T) {
+	b := NewBuffer()
+	b.Span("window", "w0", "core", 0, 100)
+	b.Span("window", "w1", "core", 100, 250)
+	b.Span("migrate", "move", "socket0", 10, 5)
+	b.Instant("migrate", "skip", "socket0", 12)
+	bd := NewBuilder()
+	bd.Add("", b)
+	stats := bd.Build().CatStats()
+	if len(stats) != 2 {
+		t.Fatalf("got %d categories, want 2", len(stats))
+	}
+	if stats[0].Cat != "migrate" || stats[0].Events != 2 || stats[0].Spans != 1 {
+		t.Fatalf("migrate stats = %+v", stats[0])
+	}
+	if stats[1].Cat != "window" || stats[1].Spans != 2 || stats[1].TotalDur != 350 || stats[1].MaxDur != 250 {
+		t.Fatalf("window stats = %+v", stats[1])
+	}
+}

@@ -1,0 +1,40 @@
+package evtrace_test
+
+import (
+	"fmt"
+
+	"starnuma/internal/evtrace"
+)
+
+// Example records a tiny timeline the way model code does — spans and
+// instants into a Buffer, nil-safe when tracing is off — then assembles
+// and encodes it as Chrome trace_event JSON that Perfetto loads.
+func Example() {
+	// Disabled: a nil buffer swallows everything, for free.
+	var off *evtrace.Buffer
+	off.Span("window", "w0", "socket0", 0, 1000)
+	fmt.Println("disabled events:", off.Len())
+
+	// Enabled: record a checkpoint window and a migration inside it.
+	b := evtrace.NewBuffer()
+	b.Span("window", "window 0", "socket0", 0, 2_000_000) // 2 µs of sim time
+	b.SpanArgs("migrate", "migrate region 7", "socket0", 500_000, 80_000,
+		evtrace.Arg{"pages", "64"}, evtrace.Arg{"to", "pool"})
+	b.Instant("tlb", "shootdown stall", "socket0", 580_000)
+
+	bd := evtrace.NewBuilder()
+	bd.Add("fig8a/BFS", b)
+	tr := bd.Build()
+	if err := tr.Validate(); err != nil {
+		fmt.Println("invalid:", err)
+		return
+	}
+	for _, st := range tr.CatStats() {
+		fmt.Printf("%-8s %d events, %d spans\n", st.Cat, st.Events, st.Spans)
+	}
+	// Output:
+	// disabled events: 0
+	// migrate  1 events, 1 spans
+	// tlb      1 events, 0 spans
+	// window   1 events, 1 spans
+}

@@ -1,0 +1,54 @@
+package evtrace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzTraceRoundTrip mirrors metrics' FuzzSnapshotRoundTrip: Decode
+// must never panic on arbitrary bytes, and any input it accepts must
+// reach a codec fixpoint — decode → encode → decode yields the same
+// Trace and the same bytes.
+func FuzzTraceRoundTrip(f *testing.F) {
+	b := NewBuffer()
+	b.SpanArgs("migrate", "move", "socket0", 123456789, 987654, Arg{"pages", "64"})
+	b.Instant("fault", "flap", "link/cxl", 42)
+	bd := NewBuilder()
+	bd.Add("fig8a/BFS", b)
+	tr := bd.Build()
+	seed, err := tr.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{"displayTimeUnit":"ns","traceEvents":[]}`))
+	f.Add([]byte(`[{"name":"x","ph":"X","ts":1.5,"dur":0,"pid":1,"tid":0}]`))
+	f.Add([]byte(`[{"ts":1e3}]`))
+	f.Add([]byte("not json"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		t1, err := Decode(data)
+		if err != nil {
+			return // rejecting garbage is fine; panicking is not
+		}
+		enc1, err := t1.Encode()
+		if err != nil {
+			t.Fatalf("Encode after successful Decode: %v", err)
+		}
+		t2, err := Decode(enc1)
+		if err != nil {
+			t.Fatalf("re-Decode of canonical encoding: %v", err)
+		}
+		if !reflect.DeepEqual(t1, t2) {
+			t.Fatalf("decode/encode fixpoint mismatch:\n t1=%+v\n t2=%+v", t1, t2)
+		}
+		enc2, err := t2.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("canonical encoding unstable:\n %s\n %s", enc1, enc2)
+		}
+	})
+}

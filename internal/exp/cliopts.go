@@ -30,6 +30,10 @@ type CLIFlags struct {
 	// Faults is a fault-plan JSON file; non-empty loads it into
 	// core.SimConfig.Faults so every experiment runs under the plan.
 	Faults string
+	// Trace is the event-trace output path; non-empty enables
+	// core.SimConfig.Trace, records the wall-clock runner lane, and
+	// disables the result cache (cache hits produce no events).
+	Trace string
 }
 
 // AddCLIFlags registers the shared run-shaping flags on fs and returns
@@ -47,6 +51,7 @@ func AddCLIFlags(fs *flag.FlagSet, progressDefault bool) *CLIFlags {
 	fs.BoolVar(&f.Progress, "progress", progressDefault, "report job progress on stderr")
 	fs.StringVar(&f.Metrics, "metrics", "", "collect instrumentation and write a run manifest to this JSON file")
 	fs.StringVar(&f.Faults, "faults", "", "run under the fault-injection plan in this JSON file (internal/fault)")
+	fs.StringVar(&f.Trace, "trace", "", "record an event trace (Perfetto/chrome://tracing JSON) to this file; disables the result cache")
 	return f
 }
 
@@ -76,6 +81,19 @@ func (f *CLIFlags) Options(progressW io.Writer) (Options, error) {
 		opts.Reporter = runner.NewTerminalReporter(progressW)
 	}
 	opts.Sim.CollectMetrics = f.Metrics != ""
+	if f.Trace != "" {
+		opts.Trace = f.Trace
+		opts.Sim.Trace = true
+		// A cache hit skips simulation, so a cached run would record
+		// nothing; tracing forces recomputation.
+		opts.CacheDir = ""
+		opts.WallTrace = runner.NewTraceReporter()
+		if opts.Reporter != nil {
+			opts.Reporter = runner.MultiReporter{opts.Reporter, opts.WallTrace}
+		} else {
+			opts.Reporter = opts.WallTrace
+		}
+	}
 	if f.Faults != "" {
 		data, err := os.ReadFile(f.Faults)
 		if err != nil {

@@ -83,6 +83,14 @@ type Options struct {
 	CacheDir string
 	// Reporter observes job progress; nil = silent.
 	Reporter runner.Reporter
+
+	// Trace is the event-trace output path (WriteTrace); non-empty
+	// implies Sim.Trace. Set CacheDir empty alongside it: cache hits
+	// skip simulation and therefore contribute no events.
+	Trace string
+	// WallTrace, when non-nil, is the wall-clock runner-lane recorder;
+	// it must also be wired into Reporter to observe anything.
+	WallTrace *runner.TraceReporter
 }
 
 // Quick returns bench/test-sized options (minutes for the full suite).

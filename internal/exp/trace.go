@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"starnuma/internal/evtrace"
+)
+
+// WriteTrace assembles every memoised run's event-trace buffer — plus
+// the wall-clock runner lane, when Options.WallTrace observed the run —
+// into one Chrome trace_event JSON document at Options.Trace. Each
+// run's lanes are prefixed "variant/workload" (the memo key with "|"
+// replaced), so all simulations coexist on one Perfetto timeline.
+// No-op when Options.Trace is empty.
+func (r *Runner) WriteTrace() error {
+	path := r.opts.Trace
+	if path == "" {
+		return nil
+	}
+	bd := evtrace.NewBuilder()
+	r.mu.Lock()
+	keys := make([]string, 0, len(r.memo))
+	for k := range r.memo {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		bd.Add(strings.ReplaceAll(k, "|", "/"), r.memo[k].Trace)
+	}
+	r.mu.Unlock()
+	if r.opts.WallTrace != nil {
+		bd.Add("", r.opts.WallTrace.Buffer())
+	}
+	tr := bd.Build()
+	if err := tr.Validate(); err != nil {
+		return fmt.Errorf("exp: trace: %w", err)
+	}
+	b, err := tr.Encode()
+	if err != nil {
+		return fmt.Errorf("exp: trace: %w", err)
+	}
+	return os.WriteFile(path, b, 0o644)
+}

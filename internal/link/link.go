@@ -11,10 +11,17 @@ package link
 
 import (
 	"fmt"
+	"strconv"
 
+	"starnuma/internal/evtrace"
 	"starnuma/internal/fault"
 	"starnuma/internal/sim"
 )
+
+// faultTraceSample records every N-th fault-adjusted send; adjusted
+// sends on a degraded link are the common case, not the exception, so
+// tracing each would swamp the timeline.
+const faultTraceSample = 64
 
 // Link is a single-direction bandwidth server.
 type Link struct {
@@ -27,6 +34,10 @@ type Link struct {
 	messages   uint64
 	bytesMoved uint64
 	inj        *fault.Injector // nil when no fault targets this link
+
+	trc     *evtrace.Buffer // nil when event tracing is off
+	trcLane string
+	trcN    uint64 // adjusted-send counter for sampling
 }
 
 // GBps expresses a bandwidth in gigabytes (1e9 bytes) per second.
@@ -60,6 +71,14 @@ func (l *Link) Latency() sim.Time { return l.latency }
 // it is retrain/backoff cost, reported via the injector's stats.
 func (l *Link) SetFault(inj *fault.Injector) { l.inj = inj }
 
+// SetTrace attaches an event-trace buffer (internal/evtrace): sends
+// whose timing the fault injector adjusted record sampled spans on the
+// given lane, covering arrival to delivery. A nil buffer disables
+// recording; recording never alters timing.
+func (l *Link) SetTrace(buf *evtrace.Buffer, lane string) {
+	l.trc, l.trcLane = buf, lane
+}
+
 // Send models transmitting a message of size bytes arriving at the link
 // at time now. It returns the time the message is delivered at the far
 // end and the queuing delay it suffered waiting for the wire.
@@ -67,9 +86,10 @@ func (l *Link) Send(now sim.Time, bytes int) (delivered, queuing sim.Time) {
 	if bytes < 0 {
 		panic(fmt.Sprintf("link %s: negative message size %d", l.name, bytes))
 	}
+	arrived := now
 	latency, psPerByte := l.latency, l.psPerByte
+	var retry sim.Time
 	if l.inj != nil {
-		var retry sim.Time
 		latency, psPerByte, retry = l.inj.Adjust(now, latency, psPerByte)
 		now += retry
 	}
@@ -84,7 +104,16 @@ func (l *Link) Send(now sim.Time, bytes int) (delivered, queuing sim.Time) {
 	l.queued += queuing
 	l.messages++
 	l.bytesMoved += uint64(bytes)
-	return l.nextFree + latency, queuing
+	delivered = l.nextFree + latency
+	if l.trc.Enabled() && (retry > 0 || latency != l.latency || psPerByte != l.psPerByte) {
+		l.trcN++
+		if l.trcN%faultTraceSample == 1 {
+			l.trc.SpanArgs("fault", "adjusted send", l.trcLane, arrived, delivered-arrived,
+				evtrace.Arg{Key: "retry_ns", Val: strconv.FormatFloat(retry.Nanos(), 'f', -1, 64)},
+				evtrace.Arg{Key: "bytes", Val: strconv.Itoa(bytes)})
+		}
+	}
+	return delivered, queuing
 }
 
 // Stats is a snapshot of a link's lifetime counters.

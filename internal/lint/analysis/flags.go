@@ -45,6 +45,7 @@ var SimPackages = []string{
 	"starnuma/internal/metrics",
 	"starnuma/internal/sim",
 	"starnuma/internal/core",
+	"starnuma/internal/evtrace",
 	"starnuma/internal/migrate",
 	"starnuma/internal/coherence",
 	"starnuma/internal/cache",

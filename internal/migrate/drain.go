@@ -39,10 +39,14 @@ func DrainPool(st *State, capacity int) []Migration {
 	if resident <= capacity {
 		return nil
 	}
+	var out []Migration
 	if st.Tracker == nil {
-		return drainByPage(st, capacity, resident)
+		out = drainByPage(st, capacity, resident)
+	} else {
+		out = drainByRegion(st, capacity, resident)
 	}
-	return drainByRegion(st, capacity, resident)
+	st.traceDrain(resident, capacity, len(out))
+	return out
 }
 
 // drainByRegion drains whole regions coldest-first.
@@ -75,6 +79,7 @@ func drainByRegion(st *State, capacity, resident int) []Migration {
 		}
 		dest := drainRegionDestination(st, tbl, cr.r)
 		first, count := tbl.PageRange(cr.r)
+		moved := 0
 		for pg := first; pg < first+count && pg < len(st.PageHome); pg++ {
 			if st.PageHome[pg] != st.PoolNode {
 				continue
@@ -82,7 +87,9 @@ func drainByRegion(st *State, capacity, resident int) []Migration {
 			out = append(out, Migration{Page: uint32(pg), From: st.PoolNode, To: dest})
 			st.PageHome[pg] = dest
 			resident--
+			moved++
 		}
+		st.traceMove("drain region", cr.r, moved, dest)
 	}
 	return out
 }

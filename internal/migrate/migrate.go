@@ -11,6 +11,8 @@ import (
 	"math/rand"
 	"sort"
 
+	"starnuma/internal/evtrace"
+	"starnuma/internal/sim"
 	"starnuma/internal/topology"
 	"starnuma/internal/tracker"
 )
@@ -36,6 +38,17 @@ type State struct {
 	HasPool           bool
 	PoolNode          topology.NodeID
 	PoolCapacityPages int
+
+	// Trace is the step-B event buffer decisions record into; nil when
+	// event tracing (internal/evtrace) is off. TraceTs is the phase-clock
+	// timestamp stamped on events — set via BeginTracePhase, which also
+	// resets the per-phase event caps. Recording is passive: decisions
+	// are identical with tracing on or off.
+	Trace   *evtrace.Buffer
+	TraceTs sim.Time
+
+	trcMoves int // per-phase recorded move decisions (capped)
+	trcSkips int // per-phase recorded ping-pong skips (capped)
 }
 
 // poolPages counts pages currently homed in the pool.
@@ -299,6 +312,7 @@ func (p *StarNUMA) Decide(phase int, st *State) []Migration {
 		// Ping-pong check (Algorithm 1 line 12 + footnote).
 		if !p.cfg.DisablePingPong && p.migCount[r] > (phase+1)/4 {
 			p.stats.PingPongSkips++
+			st.traceSkip(r)
 			continue
 		}
 		// Eviction candidate (lines 13-23).
@@ -319,6 +333,7 @@ func (p *StarNUMA) Decide(phase int, st *State) []Migration {
 				loc[victim] = dest
 				poolUsed -= len(moved)
 				p.stats.Evictions += uint64(len(moved))
+				st.traceMove("evict region", victim, len(moved), dest)
 			}
 			if poolUsed+need > st.PoolCapacityPages {
 				continue // pool still full; skip this migration
@@ -336,6 +351,7 @@ func (p *StarNUMA) Decide(phase int, st *State) []Migration {
 		} else {
 			p.stats.PagesToSocket += uint64(len(moved))
 		}
+		st.traceMove("migrate region", r, len(moved), best)
 		loc[r] = best
 		p.migCount[r]++
 		migrated += len(moved)

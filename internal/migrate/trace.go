@@ -1,0 +1,71 @@
+package migrate
+
+import (
+	"strconv"
+
+	"starnuma/internal/evtrace"
+	"starnuma/internal/sim"
+	"starnuma/internal/topology"
+)
+
+// Per-phase event caps. A single phase can decide thousands of page
+// moves; the timeline wants the shape of the decision stream, not every
+// page, so each event class is capped and the summary events carry the
+// exact totals.
+const (
+	traceMoveCap = 128
+	traceSkipCap = 64
+)
+
+// BeginTracePhase stamps subsequent trace events with the given
+// phase-clock timestamp and resets the per-phase event caps. Step B
+// records on a phase-index clock (one tick per phase); core.Plan
+// translates ticks to window-start offsets when assembling the final
+// timeline.
+func (s *State) BeginTracePhase(ts sim.Time) {
+	s.TraceTs = ts
+	s.trcMoves = 0
+	s.trcSkips = 0
+}
+
+// traceNode names a node for event annotations and lanes.
+func (s *State) traceNode(n topology.NodeID) string {
+	if s.HasPool && n == s.PoolNode {
+		return "pool"
+	}
+	return "socket" + strconv.Itoa(int(n))
+}
+
+// traceMove records one region-granularity move decision (a migration,
+// eviction or drain), capped per phase.
+func (s *State) traceMove(name string, region, pages int, dest topology.NodeID) {
+	if s.Trace == nil || s.trcMoves >= traceMoveCap {
+		return
+	}
+	s.trcMoves++
+	s.Trace.InstantArgs("migrate", name, "stepB/decide", s.TraceTs,
+		evtrace.Arg{Key: "region", Val: strconv.Itoa(region)},
+		evtrace.Arg{Key: "pages", Val: strconv.Itoa(pages)},
+		evtrace.Arg{Key: "to", Val: s.traceNode(dest)})
+}
+
+// traceSkip records one ping-pong suppression, capped per phase.
+func (s *State) traceSkip(region int) {
+	if s.Trace == nil || s.trcSkips >= traceSkipCap {
+		return
+	}
+	s.trcSkips++
+	s.Trace.InstantArgs("migrate", "pingpong skip", "stepB/decide", s.TraceTs,
+		evtrace.Arg{Key: "region", Val: strconv.Itoa(region)})
+}
+
+// traceDrain records the summary of a pool drain reaction.
+func (s *State) traceDrain(resident, capacity, drained int) {
+	if s.Trace == nil {
+		return
+	}
+	s.Trace.InstantArgs("pool", "drain", "stepB/drain", s.TraceTs,
+		evtrace.Arg{Key: "resident", Val: strconv.Itoa(resident)},
+		evtrace.Arg{Key: "capacity", Val: strconv.Itoa(capacity)},
+		evtrace.Arg{Key: "drained", Val: strconv.Itoa(drained)})
+}

@@ -1,0 +1,82 @@
+// Package prof wires Go's profiling facilities into the CLIs: CPU and
+// heap profile files plus an optional live net/http/pprof endpoint. It
+// lives entirely at the cmd layer, outside the simulation determinism
+// contract — profiling never touches model code.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the parsed profiling flags.
+type Flags struct {
+	// CPUProfile is the CPU profile output path (-cpuprofile).
+	CPUProfile string
+	// MemProfile is the heap profile output path (-memprofile), written
+	// at Stop after a final GC.
+	MemProfile string
+	// PprofAddr is the listen address of the live pprof HTTP endpoint
+	// (-pprof), e.g. "localhost:6060"; empty disables it.
+	PprofAddr string
+}
+
+// AddFlags registers -cpuprofile, -memprofile and -pprof on fs.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	fs.StringVar(&f.PprofAddr, "pprof", "", "serve live net/http/pprof on this address (e.g. localhost:6060)")
+	return f
+}
+
+// Start begins profiling per the flags and returns a stop function the
+// caller must run before exiting (defer it in main). Start fails if a
+// profile file cannot be created or CPU profiling cannot begin; the
+// pprof server starts best-effort in the background, reporting listen
+// errors to stderr rather than failing the run.
+func (f *Flags) Start() (stop func(), err error) {
+	var cpuFile *os.File
+	if f.CPUProfile != "" {
+		cpuFile, err = os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("prof: -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: -cpuprofile: %w", err)
+		}
+	}
+	if f.PprofAddr != "" {
+		go func() {
+			// http.DefaultServeMux carries the /debug/pprof handlers via
+			// the blank import.
+			if err := http.ListenAndServe(f.PprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: pprof server: %v\n", err)
+			}
+		}()
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if f.MemProfile != "" {
+			mf, err := os.Create(f.MemProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prof: -memprofile: %v\n", err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC() // settle live-heap statistics
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: -memprofile: %v\n", err)
+			}
+		}
+	}, nil
+}

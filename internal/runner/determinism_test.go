@@ -1,9 +1,11 @@
 package runner
 
 import (
+	"bytes"
 	"testing"
 
 	"starnuma/internal/core"
+	"starnuma/internal/evtrace"
 	"starnuma/internal/fault"
 	"starnuma/internal/tracker"
 )
@@ -79,6 +81,61 @@ func TestFaultDeterminismAcrossWorkerCounts(t *testing.T) {
 		if string(b) != string(ref) {
 			t.Fatalf("fault results at jobs=%d differ from jobs=1:\njobs=1: %s\njobs=%d: %s",
 				workers, ref, workers, b)
+		}
+	}
+}
+
+// TestTraceDeterminismAcrossWorkerCounts is the event-trace analogue:
+// with SimConfig.Trace enabled, the encoded simulation trace must be
+// byte-identical at 1 and 8 workers. Only the sim-time lanes are
+// compared — the runner's wall-clock lane is explicitly exempt from
+// byte stability.
+func TestTraceDeterminismAcrossWorkerCounts(t *testing.T) {
+	spec := tinySpec(t, "CC")
+
+	cfg := tinySim()
+	cfg.Policy = core.PolicyStarNUMA
+	cfg.Phases = 4
+	cfg.Trace = true
+	cfgB := tinySim()
+	cfgB.Policy = core.PolicyPerfectBaseline
+	cfgB.Trace = true
+
+	jobs := []Job{
+		{Label: "baseline/CC", Sys: core.BaselineSystem(), Cfg: cfgB, Spec: spec},
+		{Label: "starnuma-t16/CC", Sys: core.StarNUMASystem(), Cfg: cfg, Spec: spec},
+	}
+
+	encode := func(results []*core.Result) []byte {
+		t.Helper()
+		bd := evtrace.NewBuilder()
+		for i, r := range results {
+			if r.Trace == nil {
+				t.Fatalf("%s: Trace=true but Result.Trace is nil", jobs[i].Label)
+			}
+			bd.Add(jobs[i].Label, r.Trace)
+		}
+		b, err := bd.Build().Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	var ref []byte
+	for _, workers := range []int{1, 8} {
+		results, err := New(Config{Jobs: workers}).RunAll(jobs)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", workers, err)
+		}
+		b := encode(results)
+		if ref == nil {
+			ref = b
+			continue
+		}
+		if !bytes.Equal(b, ref) {
+			t.Fatalf("traces at jobs=%d differ from jobs=1 (%d vs %d bytes)",
+				workers, len(b), len(ref))
 		}
 	}
 }

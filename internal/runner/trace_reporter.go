@@ -1,0 +1,115 @@
+package runner
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"starnuma/internal/evtrace"
+	"starnuma/internal/sim"
+)
+
+// TraceReporter records job start/done as wall-clock spans in an
+// event-trace buffer (internal/evtrace), so a run's real execution —
+// worker occupancy, cache hits, window fan-out — can be laid next to
+// the simulated timelines in one Perfetto view. Jobs land on lanes
+// "runner/slot0".."runner/slotN": a job takes the lowest free slot when
+// it starts, which mirrors worker-pool occupancy without needing the
+// scheduler to expose its slots.
+//
+// Unlike every simulated lane, this one reads the wall clock, so it is
+// explicitly exempt from the byte-stability contract: reruns produce
+// different runner spans. The determinism tests therefore compare
+// simulation-level traces only.
+type TraceReporter struct {
+	mu      sync.Mutex
+	buf     *evtrace.Buffer
+	started bool
+	base    time.Time
+	slots   []bool // occupancy; index = lane number
+	active  map[string]traceJob
+}
+
+type traceJob struct {
+	slot  int
+	start sim.Time
+}
+
+// NewTraceReporter returns an empty reporter; the trace clock starts at
+// the first JobStarted.
+func NewTraceReporter() *TraceReporter {
+	return &TraceReporter{buf: evtrace.NewBuffer(), active: make(map[string]traceJob)}
+}
+
+// now returns the wall time since base on the trace clock.
+func (t *TraceReporter) now() sim.Time {
+	return sim.FromNanos(float64(time.Since(t.base).Nanoseconds()))
+}
+
+// JobStarted implements Reporter.
+func (t *TraceReporter) JobStarted(info JobInfo) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.started {
+		t.started, t.base = true, time.Now()
+	}
+	slot := -1
+	for i, used := range t.slots {
+		if !used {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		slot = len(t.slots)
+		t.slots = append(t.slots, false)
+	}
+	t.slots[slot] = true
+	t.active[info.Label] = traceJob{slot: slot, start: t.now()}
+}
+
+// JobDone implements Reporter.
+func (t *TraceReporter) JobDone(info JobInfo, wall time.Duration, cacheHit bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j, ok := t.active[info.Label]
+	if !ok {
+		return
+	}
+	delete(t.active, info.Label)
+	t.slots[j.slot] = false
+	end := t.now()
+	args := []evtrace.Arg{{Key: "kind", Val: info.Kind.String()}}
+	if cacheHit {
+		args = append(args, evtrace.Arg{Key: "cached", Val: "true"})
+	}
+	t.buf.SpanArgs("runner", info.Label, "runner/slot"+strconv.Itoa(j.slot),
+		j.start, end-j.start, args...)
+}
+
+// Buffer returns the recorded wall-clock events. Call it only after all
+// jobs have completed; the returned buffer is the reporter's own.
+func (t *TraceReporter) Buffer() *evtrace.Buffer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.buf
+}
+
+// MultiReporter fans every event out to each of its reporters, letting
+// a terminal progress display and a trace recorder observe the same
+// run.
+type MultiReporter []Reporter
+
+// JobStarted implements Reporter.
+func (m MultiReporter) JobStarted(info JobInfo) {
+	for _, r := range m {
+		r.JobStarted(info)
+	}
+}
+
+// JobDone implements Reporter.
+func (m MultiReporter) JobDone(info JobInfo, wall time.Duration, cacheHit bool) {
+	for _, r := range m {
+		r.JobDone(info, wall, cacheHit)
+	}
+}
