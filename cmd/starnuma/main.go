@@ -10,6 +10,12 @@
 //	starnuma -exp fig8a -cpuprofile cpu.pprof    # profile the run
 //	starnuma -list
 //
+// Declarative scenarios (internal/scenario) run through subcommands:
+//
+//	starnuma scenario run scenarios/           # run + check assertions
+//	starnuma scenario validate scenarios/
+//	starnuma scenario list scenarios/
+//
 // Experiment identifiers follow the paper's figure/table numbers; see
 // DESIGN.md §5 for the index.
 package main
@@ -24,6 +30,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "scenario" {
+		os.Exit(scenarioMain(os.Args[2:]))
+	}
 	var (
 		expID  = flag.String("exp", "", "experiment to run (e.g. fig8a, tab4); see -list")
 		list   = flag.Bool("list", false, "list experiment identifiers and exit")

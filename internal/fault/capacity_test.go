@@ -1,0 +1,90 @@
+package fault
+
+import "testing"
+
+func TestCapacityEventValidate(t *testing.T) {
+	ok := Event{Kind: Capacity, Target: "pool", FromPhase: 1, CapacityFrac: 0.25}
+	if err := ok.validate(); err != nil {
+		t.Fatalf("valid capacity event rejected: %v", err)
+	}
+	healed := ok
+	healed.ToPhase = 3
+	if err := healed.validate(); err != nil {
+		t.Fatalf("healing capacity event rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Event)
+	}{
+		{"link target", func(e *Event) { e.Target = "cxl" }},
+		{"channel target", func(e *Event) { e.Target = "pool:ch0" }},
+		{"zero frac", func(e *Event) { e.CapacityFrac = 0 }},
+		{"full frac", func(e *Event) { e.CapacityFrac = 1 }},
+		{"over frac", func(e *Event) { e.CapacityFrac = 1.5 }},
+		{"time scoped", func(e *Event) { e.FromNS = 10 }},
+	}
+	for _, c := range cases {
+		e := ok
+		c.mut(&e)
+		if err := e.validate(); err == nil {
+			t.Errorf("%s: invalid capacity event accepted", c.name)
+		}
+	}
+}
+
+func TestCapacityOverlap(t *testing.T) {
+	p := &Plan{Events: []Event{
+		{Kind: Capacity, Target: "pool", FromPhase: 1, ToPhase: 2, CapacityFrac: 0.5},
+		{Kind: Capacity, Target: "pool", FromPhase: 2, CapacityFrac: 0.25},
+	}}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("disjoint capacity events rejected: %v", err)
+	}
+	p.Events[1].FromPhase = 1
+	if err := p.Validate(); err == nil {
+		t.Fatal("overlapping capacity events accepted")
+	}
+	// Capacity composes with kill: different kinds never conflict.
+	p = &Plan{Events: []Event{
+		{Kind: Capacity, Target: "pool", FromPhase: 1, CapacityFrac: 0.5},
+		{Kind: Kill, Target: "pool:ch0", FromPhase: 1},
+	}}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("capacity+kill plan rejected: %v", err)
+	}
+}
+
+func TestSchedulePoolCapacity(t *testing.T) {
+	s := NewSchedule(&Plan{Events: []Event{
+		{Kind: Capacity, Target: "pool", FromPhase: 1, ToPhase: 3, CapacityFrac: 0.25},
+	}})
+	if got := s.Pool(0, 2); got.CapacityFrac != 0 {
+		t.Errorf("phase 0: CapacityFrac = %v, want 0 (unscaled)", got.CapacityFrac)
+	}
+	if got := s.Pool(1, 2); got.CapacityFrac != 0.25 {
+		t.Errorf("phase 1: CapacityFrac = %v, want 0.25", got.CapacityFrac)
+	}
+	if got := s.Pool(3, 2); got.CapacityFrac != 0 {
+		t.Errorf("phase 3 (healed): CapacityFrac = %v, want 0", got.CapacityFrac)
+	}
+}
+
+func TestParsePlanCapacity(t *testing.T) {
+	p, err := ParsePlan([]byte(`{
+		"name": "squeeze",
+		"events": [
+			{"kind": "capacity", "target": "pool", "from_phase": 2, "capacity_frac": 0.25}
+		]
+	}`))
+	if err != nil {
+		t.Fatalf("ParsePlan: %v", err)
+	}
+	if p.Events[0].CapacityFrac != 0.25 {
+		t.Fatalf("CapacityFrac = %v, want 0.25", p.Events[0].CapacityFrac)
+	}
+	if _, err := ParsePlan([]byte(`{
+		"events": [{"kind": "capacity", "target": "pool", "from_phase": 2, "capacity_frac": 2}]
+	}`)); err == nil {
+		t.Fatal("capacity_frac 2 accepted")
+	}
+}

@@ -7,7 +7,7 @@
 // and the same plan + seed yields byte-identical Results at any worker
 // count.
 //
-// Three event kinds model the failure modes a star-attached CXL pool
+// Four event kinds model the failure modes a star-attached CXL pool
 // must survive:
 //
 //   - "degrade": a link serves traffic with latency ×LatencyX and
@@ -17,7 +17,11 @@
 //     down interval wait for the link to retrain and then pay a retry
 //     cost (transient CXL port flaps with retry/backoff);
 //   - "kill": a pool DDR channel — or the whole multi-headed device —
-//     fails permanently from a phase onward.
+//     fails permanently from a phase onward;
+//   - "capacity": the pool's usable capacity shrinks to CapacityFrac of
+//     nominal for a phase range (an operator squeeze, a co-tenant's
+//     reservation, RAS-triggered page offlining) — migrate drains the
+//     overflow exactly as it does for dead channels.
 //
 // Consumers query a compiled Schedule: internal/link installs per-link
 // Injectors that adjust each Send, internal/memdev and internal/pool
@@ -51,6 +55,10 @@ const (
 	// Kill permanently fails a pool DDR channel (target "pool:chN") or
 	// the whole device (target "pool") from FromPhase onward.
 	Kill Kind = "kill"
+	// Capacity shrinks the pool's usable capacity to CapacityFrac of
+	// nominal (target "pool") for a phase range; unlike Kill it can heal
+	// when ToPhase closes the range.
+	Capacity Kind = "capacity"
 )
 
 // Event is one scheduled fault. Link events (degrade, flap) are scoped
@@ -84,6 +92,9 @@ type Event struct {
 	PeriodNS float64 `json:"period_ns,omitempty"`
 	DownNS   float64 `json:"down_ns,omitempty"`
 	RetryNS  float64 `json:"retry_ns,omitempty"`
+	// Capacity knob: the fraction of nominal pool capacity that stays
+	// usable while the event is active (must be in (0, 1)).
+	CapacityFrac float64 `json:"capacity_frac,omitempty"`
 }
 
 // Plan is a named, validated set of fault events. The zero Plan (and a
@@ -204,6 +215,16 @@ func (e Event) validate() error {
 		}
 		if e.ToPhase != 0 || e.FromNS != 0 || e.ToNS != 0 {
 			return fmt.Errorf("kill is permanent: to_phase/from_ns/to_ns must be unset")
+		}
+	case Capacity:
+		if class != "pool" || sub != "" {
+			return fmt.Errorf("capacity needs target \"pool\", got %q", e.Target)
+		}
+		if e.CapacityFrac <= 0 || e.CapacityFrac >= 1 {
+			return fmt.Errorf("capacity_frac %v must be in (0, 1)", e.CapacityFrac)
+		}
+		if e.FromNS != 0 || e.ToNS != 0 {
+			return fmt.Errorf("capacity is phase-granular: from_ns/to_ns must be unset")
 		}
 	default:
 		return fmt.Errorf("unknown kind %q", e.Kind)

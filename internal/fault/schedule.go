@@ -23,6 +23,8 @@ type compiledEvent struct {
 	period, down, retry sim.Time // flap
 
 	channel int // kill: -1 = whole device
+
+	capFrac float64 // capacity: usable fraction of nominal
 }
 
 // activePhase reports whether the event covers the given checkpoint
@@ -78,6 +80,7 @@ func NewSchedule(p *Plan) *Schedule {
 			down:      sim.FromNanos(e.DownNS),
 			retry:     sim.FromNanos(e.RetryNS),
 			channel:   -1,
+			capFrac:   e.CapacityFrac,
 		}
 		if e.Kind == Kill {
 			ce.channel, _ = killChannel(sub)
@@ -146,6 +149,10 @@ type PoolState struct {
 	Down []int
 	// Dead marks the whole multi-headed device as failed.
 	Dead bool
+	// CapacityFrac is the usable fraction of nominal capacity imposed by
+	// active capacity events; 0 means unscaled (full capacity). It
+	// composes multiplicatively with the surviving-channel fraction.
+	CapacityFrac float64
 }
 
 // FailedChannels returns how many of total channels are unavailable.
@@ -172,14 +179,25 @@ func (s *Schedule) Pool(phase, channels int) PoolState {
 	}
 	for i := range s.events {
 		ce := &s.events[i]
-		if ce.kind != Kill || !ce.activePhase(phase) {
+		if !ce.activePhase(phase) {
 			continue
 		}
-		if ce.channel < 0 {
-			ps.Dead = true
-			continue
+		switch ce.kind {
+		case Kill:
+			if ce.channel < 0 {
+				ps.Dead = true
+				continue
+			}
+			ps.Down = append(ps.Down, ce.channel)
+		case Capacity:
+			// Validate rejects overlapping capacity events, but compose
+			// multiplicatively anyway so a defensively-compiled schedule
+			// stays monotone.
+			if ps.CapacityFrac == 0 {
+				ps.CapacityFrac = 1
+			}
+			ps.CapacityFrac *= ce.capFrac
 		}
-		ps.Down = append(ps.Down, ce.channel)
 	}
 	sort.Ints(ps.Down)
 	if !ps.Dead && channels > 0 && ps.FailedChannels(channels) >= channels {

@@ -42,6 +42,7 @@ func (f *ListFlag) Contains(v string) bool {
 // computation.
 var SimPackages = []string{
 	"starnuma/internal/fault",
+	"starnuma/internal/scenario",
 	"starnuma/internal/metrics",
 	"starnuma/internal/sim",
 	"starnuma/internal/core",

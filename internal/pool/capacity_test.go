@@ -1,0 +1,25 @@
+package pool
+
+import (
+	"testing"
+
+	"starnuma/internal/fault"
+)
+
+func TestDegradedCapacityPagesSqueeze(t *testing.T) {
+	c := DefaultConfig() // 2 channels, 20% capacity fraction
+	full := c.CapacityPages(1000)
+	if got := c.DegradedCapacityPages(1000, fault.PoolState{CapacityFrac: 0.25}); got != full/4 {
+		t.Errorf("squeeze to 25%%: got %d, want %d", got, full/4)
+	}
+	// The squeeze composes with a dead channel: half the channels, then
+	// half the remainder.
+	st := fault.PoolState{Down: []int{0}, CapacityFrac: 0.5}
+	if got := c.DegradedCapacityPages(1000, st); got != full/4 {
+		t.Errorf("dead channel + 50%% squeeze: got %d, want %d", got, full/4)
+	}
+	// A dead device has no capacity regardless of the squeeze.
+	if got := c.DegradedCapacityPages(1000, fault.PoolState{Dead: true, CapacityFrac: 0.5}); got != 0 {
+		t.Errorf("dead device: got %d, want 0", got)
+	}
+}

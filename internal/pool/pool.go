@@ -115,13 +115,18 @@ func (c Config) CapacityPages(footprintPages int) int {
 // DegradedCapacityPages scales the page budget by the fraction of MHD
 // DDR channels surviving under st: pool-resident data lives interleaved
 // across all channels, so losing a channel forfeits its share of the
-// capacity (migrate drains the overflow). A dead device has no
-// capacity, which makes the migration policy fall back to socket-only
+// capacity (migrate drains the overflow). A capacity squeeze
+// (st.CapacityFrac) composes multiplicatively on top. A dead device has
+// no capacity, which makes the migration policy fall back to socket-only
 // (StarNUMA-Halt) behaviour.
 func (c Config) DegradedCapacityPages(footprintPages int, st fault.PoolState) int {
 	failed := st.FailedChannels(c.Channels)
 	if st.Dead || failed >= c.Channels {
 		return 0
 	}
-	return c.CapacityPages(footprintPages) * (c.Channels - failed) / c.Channels
+	n := c.CapacityPages(footprintPages) * (c.Channels - failed) / c.Channels
+	if st.CapacityFrac > 0 && st.CapacityFrac < 1 {
+		n = int(float64(n) * st.CapacityFrac)
+	}
+	return n
 }

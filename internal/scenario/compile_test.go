@@ -1,0 +1,129 @@
+package scenario
+
+import (
+	"testing"
+
+	"starnuma/internal/core"
+)
+
+func mustParse(t *testing.T, doc string) *Scenario {
+	t.Helper()
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return s
+}
+
+func mustCompile(t *testing.T, doc string) *Compiled {
+	t.Helper()
+	c, err := Compile(mustParse(t, doc))
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return c
+}
+
+func TestCompileFull(t *testing.T) {
+	c := mustCompile(t, validDoc)
+
+	// System overrides landed.
+	if c.Sys.Topology.Sockets != 8 || c.Sys.Topology.SocketsPerChassis != 4 {
+		t.Errorf("topology shape = %d/%d", c.Sys.Topology.Sockets, c.Sys.Topology.SocketsPerChassis)
+	}
+	if c.Sys.Pool.CapacityFraction != 0.25 || c.Sys.Pool.Channels != 4 {
+		t.Errorf("pool overrides lost: %+v", c.Sys.Pool)
+	}
+	if c.Cfg.Phases != 3 {
+		t.Errorf("phases = %d", c.Cfg.Phases)
+	}
+
+	// The event script became a fault plan on the scenario run only; the
+	// workload shift stayed out of it.
+	if c.Cfg.Faults == nil || len(c.Cfg.Faults.Events) != 3 {
+		t.Fatalf("fault plan = %+v", c.Cfg.Faults)
+	}
+	if c.RefCfg.Faults != nil {
+		t.Error("no-events reference must have no fault plan")
+	}
+
+	// The BFS shift applies to the scenario specs, not the reference.
+	if len(c.Specs) != 2 || len(c.RefSpecs) != 2 {
+		t.Fatalf("specs = %d/%d", len(c.Specs), len(c.RefSpecs))
+	}
+	if c.Specs[0].Name != "BFS" || c.Specs[0].DriftFrac != 0.3 || c.Specs[0].DriftPeriod != 1 {
+		t.Errorf("BFS shift lost: %+v", c.Specs[0])
+	}
+	if c.RefSpecs[0].DriftFrac != 0 {
+		t.Error("reference spec must not drift")
+	}
+	if c.Specs[1].Name != "TPCC" || c.Specs[1].DriftFrac != 0 {
+		t.Errorf("TPCC should not drift: %+v", c.Specs[1])
+	}
+	if c.Specs[1].Seed != 7 {
+		t.Errorf("TPCC seed override lost: %d", c.Specs[1].Seed)
+	}
+
+	// The speedup assertion is vs no-events, so only Ref is needed, and
+	// no metric assertion means no instrumentation.
+	if !c.NeedsRef || c.NeedsBase {
+		t.Errorf("NeedsRef/NeedsBase = %v/%v", c.NeedsRef, c.NeedsBase)
+	}
+	if c.Cfg.CollectMetrics {
+		t.Error("CollectMetrics should be off without metric assertions")
+	}
+	if c.Hash == "" || c.Hash != c.Scenario.Hash() {
+		t.Error("compiled hash must match the scenario hash")
+	}
+}
+
+func TestCompileBaselineSpeedupAndMetrics(t *testing.T) {
+	c := mustCompile(t, `{
+		"schema": "starnuma-scenario-v1", "name": "x",
+		"workloads": [{"name": "BFS"}],
+		"assertions": [
+			{"kind": "speedup", "vs": "baseline", "op": ">", "value": 1},
+			{"kind": "metric", "metric": "migrate/pages_to_pool", "op": ">=", "value": 0}
+		]}`)
+	if !c.NeedsBase || c.NeedsRef {
+		t.Errorf("NeedsBase/NeedsRef = %v/%v", c.NeedsBase, c.NeedsRef)
+	}
+	if !c.Cfg.CollectMetrics {
+		t.Error("metric assertion must enable CollectMetrics")
+	}
+	// The baseline runs the perfect-baseline policy on a pool-less system
+	// with the scenario's topology shape.
+	if c.BaseCfg.Policy != core.PolicyPerfectBaseline {
+		t.Errorf("base policy = %v", c.BaseCfg.Policy)
+	}
+	if c.BaseSys.Topology.HasPool {
+		t.Error("baseline system must be pool-less")
+	}
+	if c.BaseSys.Topology.Sockets != c.Sys.Topology.Sockets {
+		t.Error("baseline topology shape should match the scenario's")
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	a := mustCompile(t, validDoc)
+	b := mustCompile(t, validDoc)
+	if a.Hash != b.Hash {
+		t.Fatal("hash differs across compiles")
+	}
+	if len(a.Specs) != len(b.Specs) {
+		t.Fatal("spec count differs")
+	}
+	for i := range a.Specs {
+		if a.Specs[i].Name != b.Specs[i].Name || a.Specs[i].Seed != b.Specs[i].Seed {
+			t.Fatalf("spec %d differs", i)
+		}
+	}
+}
+
+func TestCompileInvalid(t *testing.T) {
+	s := mustParse(t, validDoc)
+	s.System.Base = "quantum"
+	if _, err := Compile(s); err == nil {
+		t.Fatal("Compile accepted an invalid scenario")
+	}
+}

@@ -1,0 +1,42 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseScenario pins the parser's contract: arbitrary bytes never
+// panic, and every rejection is a scenario-prefixed error (so failures
+// name the layer, and field errors name the field).
+func FuzzParseScenario(f *testing.F) {
+	f.Add([]byte(validDoc))
+	f.Add([]byte(assertDoc))
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"schema": "starnuma-scenario-v1"}`))
+	f.Add([]byte(`{"schema": "starnuma-scenario-v1", "name": "x", "workloads": [{"name": "BFS"}], "assertions": [{"kind": "ipc", "op": ">", "value": 0}], "unknown": 1}`))
+	f.Add([]byte(strings.Replace(validDoc, `"capacity_frac": 0.5`, `"capacity_frac": 1e308`, 1)))
+	f.Add([]byte(strings.Replace(validDoc, `"at_phase": 1`, `"at_phase": -9`, 1)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "scenario:") {
+				t.Fatalf("error without scenario prefix: %v", err)
+			}
+			return
+		}
+		// Accepted documents must survive the rest of the pipeline
+		// without panicking: hashing, line attribution and compilation.
+		if s.Hash() == "" {
+			t.Fatal("accepted scenario has empty hash")
+		}
+		for i := range s.Assertions {
+			s.LineOf(i)
+		}
+		if _, err := Compile(s); err != nil &&
+			!strings.HasPrefix(err.Error(), "scenario:") {
+			t.Fatalf("compile error without scenario prefix: %v", err)
+		}
+	})
+}

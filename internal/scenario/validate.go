@@ -1,0 +1,388 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"starnuma/internal/fault"
+	"starnuma/internal/workload"
+)
+
+// System base variants.
+const (
+	BaseStarNUMA     = "starnuma"
+	BaseBaseline     = "baseline"
+	BaseSingleSocket = "single-socket"
+)
+
+// fieldErr formats a validation error that names the offending field,
+// e.g. "scenario: events[2].period_ps: must be > 0".
+func fieldErr(field, format string, args ...any) error {
+	return fmt.Errorf("scenario: %s: %s", field, fmt.Sprintf(format, args...))
+}
+
+// oneOf reports whether v is empty (meaning "default") or one of the
+// allowed spellings.
+func oneOf(v string, allowed ...string) bool {
+	if v == "" {
+		return true
+	}
+	for _, a := range allowed {
+		if v == a {
+			return true
+		}
+	}
+	return false
+}
+
+// validOps are the assertion comparison operators.
+var validOps = []string{"<", "<=", ">", ">=", "==", "!="}
+
+// faultCounters are the Result counters kind "fault_counter" can name.
+var faultCounters = []string{"degraded_sends", "flap_retries", "drained_pages"}
+
+// Validate reports the first semantic error in the scenario, naming the
+// offending field. It checks everything that does not require running a
+// simulation: section enums, event-script ranges and conflicts (via the
+// compiled fault plan), workload names, and assertion shapes.
+func (s *Scenario) Validate() error {
+	if s.Schema != Schema {
+		return fieldErr("schema", "got %q, want %q", s.Schema, Schema)
+	}
+	if s.Name == "" {
+		return fieldErr("name", "must be set")
+	}
+	if strings.ContainsAny(s.Name, " \t\n/\\") {
+		return fieldErr("name", "%q may not contain whitespace or slashes", s.Name)
+	}
+	if err := s.validateSystem(); err != nil {
+		return err
+	}
+	if err := s.validateSim(); err != nil {
+		return err
+	}
+	if err := s.validateWorkloads(); err != nil {
+		return err
+	}
+	if err := s.validateEvents(); err != nil {
+		return err
+	}
+	return s.validateAssertions()
+}
+
+func (s *Scenario) validateSystem() error {
+	sys := s.System
+	if !oneOf(sys.Base, BaseStarNUMA, BaseBaseline, BaseSingleSocket) {
+		return fieldErr("system.base", "unknown variant %q (want starnuma, baseline or single-socket)", sys.Base)
+	}
+	hasPool := s.hasPool()
+	if sys.Sockets < 0 {
+		return fieldErr("system.sockets", "negative count %d", sys.Sockets)
+	}
+	if sys.SocketsPerChassis < 0 {
+		return fieldErr("system.sockets_per_chassis", "negative count %d", sys.SocketsPerChassis)
+	}
+	if sys.Base == BaseSingleSocket && (sys.Sockets > 1 || sys.SocketsPerChassis > 1) {
+		return fieldErr("system.sockets", "base single-socket fixes the shape at one socket")
+	}
+	if !hasPool {
+		switch {
+		case sys.PoolCapacityFraction != 0:
+			return fieldErr("system.pool_capacity_fraction", "base %q has no pool", sys.Base)
+		case sys.PoolChannels != 0:
+			return fieldErr("system.pool_channels", "base %q has no pool", sys.Base)
+		case sys.PoolLatency != "":
+			return fieldErr("system.pool_latency", "base %q has no pool", sys.Base)
+		case sys.CXLBandwidthGBps != 0:
+			return fieldErr("system.cxl_bandwidth_gbps", "base %q has no pool", sys.Base)
+		}
+	}
+	if sys.PoolCapacityFraction < 0 || sys.PoolCapacityFraction > 1 {
+		return fieldErr("system.pool_capacity_fraction", "%v out of (0, 1]", sys.PoolCapacityFraction)
+	}
+	if sys.PoolChannels < 0 {
+		return fieldErr("system.pool_channels", "negative count %d", sys.PoolChannels)
+	}
+	if !oneOf(sys.PoolLatency, "default", "switched") {
+		return fieldErr("system.pool_latency", "unknown budget %q (want default or switched)", sys.PoolLatency)
+	}
+	if sys.CXLBandwidthGBps < 0 || sys.UPIBandwidthGBps < 0 || sys.NUMABandwidthGBps < 0 {
+		return fieldErr("system", "negative link bandwidth override")
+	}
+	return nil
+}
+
+func (s *Scenario) validateSim() error {
+	sim := s.Sim
+	if !oneOf(sim.Preset, "quick", "default") {
+		return fieldErr("sim.preset", "unknown preset %q (want quick or default)", sim.Preset)
+	}
+	if sim.Phases < 0 {
+		return fieldErr("sim.phases", "negative count %d", sim.Phases)
+	}
+	if sim.Scale < 0 {
+		return fieldErr("sim.scale", "negative scale %v", sim.Scale)
+	}
+	if !oneOf(sim.Policy, "starnuma", "baseline-perfect", "none") {
+		return fieldErr("sim.policy", "unknown policy %q (want starnuma, baseline-perfect or none)", sim.Policy)
+	}
+	if !oneOf(sim.Tracker, "t16", "t0") {
+		return fieldErr("sim.tracker", "unknown tracker %q (want t16 or t0)", sim.Tracker)
+	}
+	return nil
+}
+
+func (s *Scenario) validateWorkloads() error {
+	if len(s.Workloads) == 0 {
+		return fieldErr("workloads", "at least one workload placement required")
+	}
+	known := workload.Names()
+	seen := make(map[string]bool, len(s.Workloads))
+	for i, w := range s.Workloads {
+		field := fmt.Sprintf("workloads[%d]", i)
+		found := false
+		for _, n := range known {
+			if n == w.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fieldErr(field+".name", "unknown workload %q (suite: %s)", w.Name, strings.Join(known, ", "))
+		}
+		if seen[w.Name] {
+			return fieldErr(field+".name", "workload %q placed twice", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Scale < 0 {
+			return fieldErr(field+".scale", "negative scale %v", w.Scale)
+		}
+	}
+	return nil
+}
+
+// placed reports whether name is one of the scenario's placements.
+func (s *Scenario) placed(name string) bool {
+	for _, w := range s.Workloads {
+		if w.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// hasPool reports whether the compiled system will have a memory pool.
+func (s *Scenario) hasPool() bool {
+	return s.System.Base == "" || s.System.Base == BaseStarNUMA
+}
+
+func (s *Scenario) validateEvents() error {
+	for i, e := range s.Events {
+		field := fmt.Sprintf("events[%d]", i)
+		if e.AtPhase < 0 {
+			return fieldErr(field+".at_phase", "negative phase %d", e.AtPhase)
+		}
+		if e.UntilPhase < 0 {
+			return fieldErr(field+".until_phase", "negative phase %d", e.UntilPhase)
+		}
+		if e.UntilPhase != 0 && e.UntilPhase <= e.AtPhase {
+			return fieldErr(field+".until_phase", "empty phase range [%d, %d)", e.AtPhase, e.UntilPhase)
+		}
+		if e.AtPS < 0 || e.UntilPS < 0 {
+			return fieldErr(field+".at_ps", "negative time range [%dps, %dps)", e.AtPS, e.UntilPS)
+		}
+		if e.UntilPS != 0 && e.UntilPS <= e.AtPS {
+			return fieldErr(field+".until_ps", "empty time range [%dps, %dps)", e.AtPS, e.UntilPS)
+		}
+		switch e.Action {
+		case ActionDegradeLink:
+			if e.Target == "" {
+				return fieldErr(field+".target", "degrade-link needs a link target (cxl, upi, numalink, link)")
+			}
+			if e.LatencyX <= 1 && e.BandwidthDiv <= 1 {
+				return fieldErr(field+".latency_x", "degrade-link with no effect (latency_x and bandwidth_div both ≤ 1)")
+			}
+		case ActionFlapLink:
+			if e.Target == "" {
+				return fieldErr(field+".target", "flap-link needs a link target (cxl, upi, numalink, link)")
+			}
+			if e.PeriodPS <= 0 {
+				return fieldErr(field+".period_ps", "must be > 0")
+			}
+			if e.DownPS <= 0 || e.DownPS >= e.PeriodPS {
+				return fieldErr(field+".down_ps", "%d must be in (0, period_ps=%d)", e.DownPS, e.PeriodPS)
+			}
+			if e.RetryPS < 0 {
+				return fieldErr(field+".retry_ps", "negative retry %d", e.RetryPS)
+			}
+		case ActionKill:
+			if !s.hasPool() {
+				return fieldErr(field, "kill targets the pool, but system.base %q has none", s.System.Base)
+			}
+			if e.Target != "pool" && !strings.HasPrefix(e.Target, "pool:") {
+				return fieldErr(field+".target", "kill needs \"pool\" or \"pool:chN\", got %q", e.Target)
+			}
+			if e.UntilPhase != 0 || e.AtPS != 0 || e.UntilPS != 0 {
+				return fieldErr(field, "kill is permanent: until_phase/at_ps/until_ps must be unset")
+			}
+		case ActionPoolCapacity:
+			if !s.hasPool() {
+				return fieldErr(field, "pool-capacity targets the pool, but system.base %q has none", s.System.Base)
+			}
+			if e.Target != "" && e.Target != "pool" {
+				return fieldErr(field+".target", "pool-capacity applies to \"pool\", got %q", e.Target)
+			}
+			if e.CapacityFrac <= 0 || e.CapacityFrac >= 1 {
+				return fieldErr(field+".capacity_frac", "%v must be in (0, 1)", e.CapacityFrac)
+			}
+			if e.AtPS != 0 || e.UntilPS != 0 {
+				return fieldErr(field, "pool-capacity is phase-granular: at_ps/until_ps must be unset")
+			}
+		case ActionWorkloadShift:
+			if e.ShiftFrac <= 0 || e.ShiftFrac > 1 {
+				return fieldErr(field+".shift_frac", "%v must be in (0, 1]", e.ShiftFrac)
+			}
+			if e.PeriodPhases < 1 {
+				return fieldErr(field+".period_phases", "must be ≥ 1")
+			}
+			if e.AtPhase != 0 || e.UntilPhase != 0 || e.AtPS != 0 || e.UntilPS != 0 {
+				return fieldErr(field, "workload-shift recurs every period_phases from the start: at_phase/until_phase/at_ps/until_ps must be unset")
+			}
+			if e.Workload != "" && !s.placed(e.Workload) {
+				return fieldErr(field+".workload", "%q is not one of the scenario's placements", e.Workload)
+			}
+		case "":
+			return fieldErr(field+".action", "must be set")
+		default:
+			return fieldErr(field+".action", "unknown action %q", e.Action)
+		}
+	}
+	// The link/pool events must also form a consistent fault plan
+	// (fault.Plan.Validate rejects same-kind overlaps on intersecting
+	// targets/phases/times).
+	if plan := s.faultPlan(); plan != nil {
+		if err := plan.Validate(); err != nil {
+			return fmt.Errorf("scenario: events: %w", err)
+		}
+	}
+	return nil
+}
+
+func (s *Scenario) validateAssertions() error {
+	if len(s.Assertions) == 0 {
+		return fieldErr("assertions", "at least one assertion required (a scenario is a regression check)")
+	}
+	for i, a := range s.Assertions {
+		field := fmt.Sprintf("assertions[%d]", i)
+		if a.Workload != "" && !s.placed(a.Workload) {
+			return fieldErr(field+".workload", "%q is not one of the scenario's placements", a.Workload)
+		}
+		needsOp := a.Kind != KindDrainComplete
+		if needsOp {
+			ok := false
+			for _, op := range validOps {
+				if a.Op == op {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fieldErr(field+".op", "got %q, want one of %s", a.Op, strings.Join(validOps, " "))
+			}
+		}
+		switch a.Kind {
+		case KindIPC, KindMPKI, KindAMATNs, KindPoolPages:
+			if a.Value < 0 {
+				return fieldErr(field+".value", "negative threshold %v", a.Value)
+			}
+		case KindSpeedup:
+			if !oneOf(a.Vs, VsNoEvents, VsBaseline) {
+				return fieldErr(field+".vs", "unknown reference %q (want no-events or baseline)", a.Vs)
+			}
+			if a.Value < 0 {
+				return fieldErr(field+".value", "negative speedup bound %v", a.Value)
+			}
+		case KindMetric:
+			if a.Metric == "" {
+				return fieldErr(field+".metric", "kind metric needs a metric name (e.g. migrate/pages_to_pool)")
+			}
+		case KindFaultCounter:
+			ok := false
+			for _, c := range faultCounters {
+				if a.Counter == c {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fieldErr(field+".counter", "got %q, want one of %s", a.Counter, strings.Join(faultCounters, ", "))
+			}
+		case KindDrainComplete:
+			if a.Op != "" || a.Value != 0 {
+				return fieldErr(field, "drain_complete takes no op/value")
+			}
+			if !s.hasPool() {
+				return fieldErr(field, "drain_complete needs a pool, but system.base %q has none", s.System.Base)
+			}
+		case "":
+			return fieldErr(field+".kind", "must be set")
+		default:
+			return fieldErr(field+".kind", "unknown kind %q", a.Kind)
+		}
+		if a.Metric != "" && a.Kind != KindMetric {
+			return fieldErr(field+".metric", "only kind metric takes a metric name")
+		}
+		if a.Counter != "" && a.Kind != KindFaultCounter {
+			return fieldErr(field+".counter", "only kind fault_counter takes a counter name")
+		}
+		if a.Vs != "" && a.Kind != KindSpeedup {
+			return fieldErr(field+".vs", "only kind speedup takes a reference")
+		}
+	}
+	return nil
+}
+
+// faultPlan builds the fault plan the event script compiles into: every
+// event except workload shifts, in script order. Returns nil when the
+// script has no fault-bound events.
+func (s *Scenario) faultPlan() *fault.Plan {
+	var events []fault.Event
+	for _, e := range s.Events {
+		switch e.Action {
+		case ActionDegradeLink:
+			events = append(events, fault.Event{
+				Kind: fault.Degrade, Target: e.Target,
+				FromPhase: e.AtPhase, ToPhase: e.UntilPhase,
+				FromNS: psToNS(e.AtPS), ToNS: psToNS(e.UntilPS),
+				LatencyX: e.LatencyX, BandwidthDiv: e.BandwidthDiv,
+			})
+		case ActionFlapLink:
+			events = append(events, fault.Event{
+				Kind: fault.Flap, Target: e.Target,
+				FromPhase: e.AtPhase, ToPhase: e.UntilPhase,
+				FromNS: psToNS(e.AtPS), ToNS: psToNS(e.UntilPS),
+				PeriodNS: psToNS(e.PeriodPS), DownNS: psToNS(e.DownPS), RetryNS: psToNS(e.RetryPS),
+			})
+		case ActionKill:
+			events = append(events, fault.Event{
+				Kind: fault.Kill, Target: e.Target, FromPhase: e.AtPhase,
+			})
+		case ActionPoolCapacity:
+			events = append(events, fault.Event{
+				Kind: fault.Capacity, Target: "pool",
+				FromPhase: e.AtPhase, ToPhase: e.UntilPhase,
+				CapacityFrac: e.CapacityFrac,
+			})
+		}
+	}
+	if len(events) == 0 {
+		return nil
+	}
+	return &fault.Plan{Name: s.Name, Events: events}
+}
+
+// psToNS converts a scenario's integer picosecond timestamp to the
+// fault plan's nanosecond float. fault compiles it back with
+// sim.FromNanos, which rounds to the nearest picosecond, so the round
+// trip is exact for any ps value within float64's integer range.
+func psToNS(ps int64) float64 { return float64(ps) / 1000 }

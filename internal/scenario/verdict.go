@@ -1,0 +1,101 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// VerdictSchema versions the verdict-manifest document; bump on
+// incompatible shape changes.
+const VerdictSchema = "starnuma-scenario-verdict-v1"
+
+// Verdict is the machine-readable outcome of one scenario run: headline
+// numbers per placed workload plus the result of every assertion. Every
+// field derives from the scenario document and the simulation Results,
+// so Encode is byte-identical across reruns and worker counts.
+type Verdict struct {
+	Schema      string            `json:"schema"`
+	Scenario    string            `json:"scenario"`
+	Description string            `json:"description,omitempty"`
+	Hash        string            `json:"hash"`
+	Pass        bool              `json:"pass"`
+	Workloads   []WorkloadOutcome `json:"workloads"`
+	Checks      []Check           `json:"checks"`
+}
+
+// WorkloadOutcome is one placed workload's headline numbers.
+type WorkloadOutcome struct {
+	Workload      string  `json:"workload"`
+	IPC           float64 `json:"ipc"`
+	AMATNs        float64 `json:"amat_ns"`
+	MPKI          float64 `json:"mpki"`
+	PoolPages     int     `json:"pool_pages"`
+	DrainedPages  uint64  `json:"drained_pages"`
+	DegradedSends uint64  `json:"degraded_sends"`
+	FlapRetries   uint64  `json:"flap_retries"`
+	// Speedups are present only when the scenario declared the matching
+	// reference (a speedup assertion).
+	SpeedupVsNoEvents float64 `json:"speedup_vs_no_events,omitempty"`
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// Check is the outcome of one assertion for one workload. Assertions
+// with no workload restriction expand to one Check per placement, all
+// sharing the assertion's Index and source Line.
+type Check struct {
+	// Index is the assertion's position in the scenario document.
+	Index int `json:"index"`
+	// Line is the assertion's 1-based source line (0 when the scenario
+	// was built programmatically).
+	Line     int    `json:"line,omitempty"`
+	Kind     string `json:"kind"`
+	Workload string `json:"workload,omitempty"`
+	// Op/Want/Got record the comparison: Got Op Want.
+	Op   string  `json:"op,omitempty"`
+	Want float64 `json:"want"`
+	Got  float64 `json:"got"`
+	Pass bool    `json:"pass"`
+	// Detail is the human-readable expected-vs-actual line, e.g.
+	// "metric fault/drained_pages (BFS): expected >= 1, got 0".
+	Detail string `json:"detail"`
+}
+
+// Failed returns the checks that did not pass, in document order.
+func (v *Verdict) Failed() []Check {
+	var out []Check
+	for _, c := range v.Checks {
+		if !c.Pass {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Summary is the one-line human outcome, e.g.
+// "PASS capacity-squeeze (5 checks)".
+func (v *Verdict) Summary() string {
+	if v.Pass {
+		return fmt.Sprintf("PASS %s (%d checks)", v.Scenario, len(v.Checks))
+	}
+	return fmt.Sprintf("FAIL %s (%d/%d checks failed)", v.Scenario, len(v.Failed()), len(v.Checks))
+}
+
+// Encode renders the verdict as indented JSON with a trailing newline —
+// the canonical manifest bytes the determinism tests pin.
+func (v *Verdict) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: encode verdict: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeVerdict parses a verdict previously produced by Encode. Corrupt
+// input returns an error, never a panic.
+func DecodeVerdict(b []byte) (*Verdict, error) {
+	var v Verdict
+	if err := json.Unmarshal(b, &v); err != nil {
+		return nil, fmt.Errorf("scenario: decode verdict: %w", err)
+	}
+	return &v, nil
+}
