@@ -1,11 +1,13 @@
 // Command starnumavet mechanically enforces the simulator's
-// determinism and units contract (README.md "Static analysis").
+// determinism, units, hot-path, and observability contracts
+// (docs/STATIC_ANALYSIS.md catalogues every analyzer).
 //
 // Standalone:
 //
 //	go run ./cmd/starnumavet ./...
+//	go run ./cmd/starnumavet -json -baseline lint.baseline.json ./...
 //
-// As a go vet tool (what CI runs):
+// As a go vet tool:
 //
 //	go build -o /tmp/starnumavet ./cmd/starnumavet
 //	go vet -vettool=/tmp/starnumavet ./...
@@ -13,22 +15,18 @@
 // Analyzers: detclock (no wall clock / env in simulation packages),
 // seedrand (RNGs flow from explicit config seeds), maporder (no
 // order-dependent effects under map iteration), cycleunits (no silent
-// crossing of sim.Time / sim.Cycles / link.GBps).
+// crossing of sim.Time / sim.Cycles / link.GBps), hotalloc
+// (allocation-free //starnuma:hotpath perimeter), metricname (metric
+// names fit the namespace grammar and are documented), floatdet (no
+// float == / != in simulation packages), allowcheck (allow directives
+// are well-formed and still needed).
 package main
 
 import (
 	"starnuma/internal/lint/analysis"
-	"starnuma/internal/lint/cycleunits"
-	"starnuma/internal/lint/detclock"
-	"starnuma/internal/lint/maporder"
-	"starnuma/internal/lint/seedrand"
+	"starnuma/internal/lint/suite"
 )
 
 func main() {
-	analysis.Main(
-		detclock.Analyzer,
-		seedrand.Analyzer,
-		maporder.Analyzer,
-		cycleunits.Analyzer,
-	)
+	analysis.Main(suite.Analyzers()...)
 }

@@ -74,6 +74,8 @@ func (c *LLC) set(block uint64) []way {
 }
 
 // Contains reports whether block is cached, without touching LRU state.
+//
+//starnuma:hotpath per-access presence probe
 func (c *LLC) Contains(block uint64) bool {
 	for i := range c.set(block) {
 		w := &c.set(block)[i]
@@ -85,6 +87,8 @@ func (c *LLC) Contains(block uint64) bool {
 }
 
 // Touch promotes block to MRU if present and reports whether it was.
+//
+//starnuma:hotpath one call per access
 func (c *LLC) Touch(block uint64) bool {
 	set := c.set(block)
 	for i := range set {
@@ -101,6 +105,8 @@ func (c *LLC) Touch(block uint64) bool {
 // If the block was already present, its dirty bit is OR-ed. If the
 // insertion displaces a valid block, the displaced block and its dirty
 // bit are returned with evicted=true.
+//
+//starnuma:hotpath one call per miss fill
 func (c *LLC) Insert(block uint64, dirty bool) (victim uint64, victimDirty, evicted bool) {
 	set := c.set(block)
 	for i := range set {
@@ -134,6 +140,8 @@ func (c *LLC) Insert(block uint64, dirty bool) (victim uint64, victimDirty, evic
 
 // Invalidate removes block if present, returning whether it was present
 // and whether it was dirty.
+//
+//starnuma:hotpath one call per coherence invalidation
 func (c *LLC) Invalidate(block uint64) (present, wasDirty bool) {
 	set := c.set(block)
 	for i := range set {
@@ -147,6 +155,8 @@ func (c *LLC) Invalidate(block uint64) (present, wasDirty bool) {
 }
 
 // MarkDirty sets the dirty bit on block, reporting whether it was cached.
+//
+//starnuma:hotpath one call per write hit
 func (c *LLC) MarkDirty(block uint64) bool {
 	set := c.set(block)
 	for i := range set {

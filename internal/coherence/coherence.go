@@ -90,6 +90,8 @@ func NewDirectory(sockets int) *Directory {
 // for dirty remote hits. The returned Result tells the timing layer what
 // to simulate. Directory state is updated to reflect the access: the
 // requester becomes a sharer (and owner, for writes).
+//
+//starnuma:hotpath one call per LLC-missing access
 func (d *Directory) Access(s topology.NodeID, block uint64, write bool, homeIsPool bool) Result {
 	d.transactions++
 	e, ok := d.blocks[block]
@@ -113,6 +115,7 @@ func (d *Directory) Access(s topology.NodeID, block uint64, write bool, homeIsPo
 		for i := 0; i < d.sockets; i++ {
 			other := uint32(1) << uint(i)
 			if e.sharers&other != 0 && topology.NodeID(i) != s && topology.NodeID(i) != res.Owner {
+				//starnumavet:allow hotalloc bounded by the socket count (≤16) and only on write-to-shared, the rare coherence case
 				res.Invalidate = append(res.Invalidate, topology.NodeID(i))
 				d.invalidations++
 			}
@@ -136,6 +139,8 @@ func (d *Directory) Access(s topology.NodeID, block uint64, write bool, homeIsPo
 // Evict records that socket s dropped block from its LLC. It reports
 // whether the eviction requires a writeback (the evicted copy was the
 // dirty owner copy).
+//
+//starnuma:hotpath one call per LLC eviction
 func (d *Directory) Evict(s topology.NodeID, block uint64, dirty bool) (writeback bool) {
 	e, ok := d.blocks[block]
 	if !ok {
@@ -159,6 +164,8 @@ func (d *Directory) Evict(s topology.NodeID, block uint64, dirty bool) (writebac
 
 // Invalidated records that socket s lost block via an invalidation (the
 // caller has already removed it from the LLC model).
+//
+//starnuma:hotpath one call per invalidation acknowledgement
 func (d *Directory) Invalidated(s topology.NodeID, block uint64) {
 	e, ok := d.blocks[block]
 	if !ok {

@@ -21,6 +21,8 @@ func metricName(s string) string {
 // checkpoint phase, used as the sim-time bucket for series points so
 // merged snapshots line up per phase. Reads only — harvesting never
 // perturbs simulation state.
+//
+//starnuma:coldpath once-per-window metrics drain
 func (ts *timingSystem) harvest(phase int) {
 	m := ts.met
 	t := int64(phase)

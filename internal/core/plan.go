@@ -72,6 +72,8 @@ type Window struct {
 // from; a fresh generator built from the same spec is equivalent, since
 // streams are pure functions of (seed, core, phase) — that purity is
 // what lets concurrent windows each own a private source.
+//
+//starnuma:hotpath step-C entry point, one call per (window, worker)
 func (p *Plan) RunWindow(i int, gen AccessSource) Window {
 	return Window{stats: runWindow(p.sys, p.cfg, gen, p.tr.Checkpoints[i], p.tr.Replicated)}
 }
@@ -105,8 +107,11 @@ func (p *Plan) NewResult() *Result {
 // samples, whose float mean is order-sensitive: merge windows in
 // checkpoint order to get bit-identical aggregates regardless of how
 // the windows were executed.
+//
+//starnuma:hotpath one call per finished window on the merge goroutine
 func (r *Result) MergeWindow(w Window) {
 	r.AMAT.Merge(w.stats.amat)
+	//starnumavet:allow hotalloc once per merged window, amortized over the run
 	r.ipcs = append(r.ipcs, w.stats.ipcs...)
 	r.Instructions += w.stats.instr
 	r.Misses += w.stats.misses
@@ -128,7 +133,7 @@ func (r *Result) MergeWindow(w Window) {
 	r.FaultFlapRetries += w.stats.faultRetries
 	if w.stats.met != nil {
 		if r.Metrics == nil {
-			r.Metrics = &metrics.Snapshot{}
+			r.Metrics = &metrics.Snapshot{} //starnumavet:allow hotalloc one allocation per Result, on the first instrumented window
 		}
 		r.Metrics.Merge(w.stats.met)
 	}
@@ -140,6 +145,7 @@ func (r *Result) MergeWindow(w Window) {
 			w.stats.trc.Shift(r.traceOff)
 			r.Trace.Append(w.stats.trc)
 		}
+		//starnumavet:allow hotalloc once per traced window, amortized over the run
 		r.windowOffsets = append(r.windowOffsets, r.traceOff)
 		r.traceOff += w.stats.simTime
 	}

@@ -142,7 +142,7 @@ func RunSuite(sys SystemConfig, cfg SimConfig, scale float64) ([]*Result, error)
 
 // Speedup returns the IPC ratio of r over base.
 func Speedup(r, base *Result) float64 {
-	if base.IPC == 0 {
+	if stats.IsZero(base.IPC) {
 		return 0
 	}
 	return r.IPC / base.IPC

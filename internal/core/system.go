@@ -134,6 +134,8 @@ type timingSystem struct {
 }
 
 // newTimingSystem builds a fresh system for one checkpoint window.
+//
+//starnuma:coldpath once-per-window construction; allocation here is the point
 func newTimingSystem(sys SystemConfig, cfg SimConfig, gen AccessSource,
 	chk Checkpoint, replicated []bool) *timingSystem {
 	topo := topology.New(sys.Topology)
@@ -277,10 +279,13 @@ func unloadedLatencies(topo *topology.Topology, local sim.Time) [stats.NumAccess
 // sendPath forwards a message hop by hop from node from to node to,
 // calling then with the delivery time. Empty routes (from == to) deliver
 // at start.
+//
+//starnuma:hotpath one call per modeled message
 func (ts *timingSystem) sendPath(start sim.Time, from, to topology.NodeID, bytes int, then func(sim.Time)) {
 	ts.sendHops(start, ts.topo.Route(from, to), bytes, then)
 }
 
+//starnuma:hotpath per message, recursing once per hop
 func (ts *timingSystem) sendHops(at sim.Time, hops []int, bytes int, then func(sim.Time)) {
 	if len(hops) == 0 {
 		then(at)
@@ -301,6 +306,8 @@ func (ts *timingSystem) sendHops(at sim.Time, hops []int, bytes int, then func(s
 // invoking then when the final packet lands. Packets share the route's
 // links with demand traffic in FIFO order, so migrations consume
 // bandwidth without head-of-line blocking whole-page transfers.
+//
+//starnuma:hotpath one call per migrated page
 func (ts *timingSystem) sendPage(start sim.Time, from, to topology.NodeID, then func(sim.Time)) {
 	remaining := pageLineMessages
 	var lastArrival sim.Time
@@ -319,6 +326,8 @@ func (ts *timingSystem) sendPage(start sim.Time, from, to topology.NodeID, then 
 
 // memAccess performs a DRAM access at node when the request arrives
 // there, invoking then with the data-ready time.
+//
+//starnuma:hotpath one call per device access
 func (ts *timingSystem) memAccess(at sim.Time, node topology.NodeID, addr uint64, then func(sim.Time)) {
 	access := func(now sim.Time) {
 		done, _ := ts.ctrls[node].Access(now, addr, cache.BlockBytes)
@@ -332,6 +341,8 @@ func (ts *timingSystem) memAccess(at sim.Time, node topology.NodeID, addr uint64
 }
 
 // start launches the cores and the migration engine.
+//
+//starnuma:coldpath once-per-window kickoff
 func (ts *timingSystem) start(chk Checkpoint) {
 	ts.scheduleMigrations(chk)
 	for _, cs := range ts.cores {
@@ -346,6 +357,8 @@ func (ts *timingSystem) start(chk Checkpoint) {
 // serialises migrations at MigrationCostCycles each; page data crosses
 // the interconnect and accesses to an in-flight page stall until the
 // data lands.
+//
+//starnuma:coldpath once per window, walks the migration plan
 func (ts *timingSystem) scheduleMigrations(chk Checkpoint) {
 	frac := float64(ts.cfg.TimedInstr) / float64(ts.cfg.PhaseInstr)
 	n := int(float64(len(chk.Migrations)) * frac)
@@ -405,6 +418,8 @@ func (ts *timingSystem) scheduleMigrations(chk Checkpoint) {
 
 // tryIssue advances a core: it fetches accesses from the generator and
 // issues them subject to the MLP cap and the compute-position constraint.
+//
+//starnuma:hotpath the per-instruction issue loop, dispatched from engine events
 func (ts *timingSystem) tryIssue(cs *coreState) {
 	if cs.done {
 		return
@@ -452,6 +467,8 @@ func (ts *timingSystem) tryIssue(cs *coreState) {
 }
 
 // finishCore retires a core at the end of its window.
+//
+//starnuma:hotpath one call per core per window
 func (ts *timingSystem) finishCore(cs *coreState, now sim.Time) {
 	cs.done = true
 	cs.finish = now
@@ -469,6 +486,7 @@ func (ts *timingSystem) finishCore(cs *coreState, now sim.Time) {
 	if elapsed > 0 {
 		ipc = instr / (elapsed / ts.cyclePS)
 	}
+	//starnumavet:allow hotalloc once per core per window, bounded by the core count
 	ts.w.ipcs = append(ts.w.ipcs, ipc)
 	ts.running--
 	if ts.running == 0 {
@@ -478,10 +496,13 @@ func (ts *timingSystem) finishCore(cs *coreState, now sim.Time) {
 }
 
 // issueAccess simulates one LLC miss end to end.
+//
+//starnuma:hotpath one call per timed memory access
 func (ts *timingSystem) issueAccess(cs *coreState, a workload.Access, issued sim.Time, record bool) {
 	// Stall behind an in-flight migration of the page (§IV-C).
 	if waiters, ok := ts.inFlight[a.Page]; ok {
 		ts.w.migrStalled++
+		//starnumavet:allow hotalloc waiter list exists only while a migration of this page is in flight; stalls are rare by design
 		ts.inFlight[a.Page] = append(waiters, func() {
 			ts.issueAccess(cs, a, issued, record)
 		})
@@ -517,6 +538,8 @@ func (ts *timingSystem) issueAccess(cs *coreState, a workload.Access, issued sim
 }
 
 // issueAccessAfterWalk continues issueAccess past the translation stage.
+//
+//starnuma:hotpath continuation of issueAccess after the TLB verdict
 func (ts *timingSystem) issueAccessAfterWalk(cs *coreState, a workload.Access, issued sim.Time, record bool) {
 	now := ts.eng.Now()
 	socket := topology.NodeID(cs.socket)
@@ -663,11 +686,21 @@ func (ts *timingSystem) issueAccessAfterWalk(cs *coreState, a workload.Access, i
 			})
 		})
 	default:
-		panic(fmt.Sprintf("core: unknown outcome %v", res.Outcome))
+		unknownOutcomePanic(res.Outcome)
 	}
 }
 
+// unknownOutcomePanic reports an unhandled coherence outcome. Split out
+// of issueAccessAfterWalk so the hot path keeps no fmt reference.
+//
+//starnuma:coldpath
+func unknownOutcomePanic(o coherence.Outcome) {
+	panic(fmt.Sprintf("core: unknown outcome %v", o))
+}
+
 // replicatedAccess services an access to a software-replicated page.
+//
+//starnuma:hotpath replica-read variant of issueAccess
 func (ts *timingSystem) replicatedAccess(cs *coreState, a workload.Access,
 	socket, home topology.NodeID, addr uint64, issued sim.Time, record bool) {
 	now := ts.eng.Now()
@@ -724,6 +757,8 @@ func (ts *timingSystem) replicatedAccess(cs *coreState, a workload.Access,
 }
 
 // classify maps a memory access to its Fig. 8c category.
+//
+//starnuma:hotpath per-access latency-class bucketing
 func (ts *timingSystem) classify(socket, home topology.NodeID) stats.AccessType {
 	switch {
 	case home == socket:
@@ -737,7 +772,18 @@ func (ts *timingSystem) classify(socket, home topology.NodeID) stats.AccessType 
 	}
 }
 
+// unfinishedPanic reports cores left running after the event queue
+// drained. Split out of runWindow so the hot path keeps no fmt
+// reference.
+//
+//starnuma:coldpath
+func unfinishedPanic(running, phase int) {
+	panic(fmt.Sprintf("core: %d cores never finished window (phase %d)", running, phase))
+}
+
 // runWindow executes one checkpoint's timing simulation.
+//
+//starnuma:hotpath the step-C window timing simulation
 func runWindow(sys SystemConfig, cfg SimConfig, gen AccessSource,
 	chk Checkpoint, replicated []bool) windowStats {
 	ts := newTimingSystem(sys, cfg, gen, chk, replicated)
@@ -747,7 +793,7 @@ func runWindow(sys SystemConfig, cfg SimConfig, gen AccessSource,
 	// Cores that never finished (possible only on malformed configs)
 	// would leave running > 0; guard against silent nonsense.
 	if ts.running != 0 {
-		panic(fmt.Sprintf("core: %d cores never finished window (phase %d)", ts.running, chk.Phase))
+		unfinishedPanic(ts.running, chk.Phase)
 	}
 	for _, cs := range ts.cores {
 		ts.w.instr += cs.instr - cs.warmupInstr

@@ -54,6 +54,8 @@ type TraceResult struct {
 // phaseAccesses returns how many misses one core generates in a step-B
 // phase: the generator is drawn until the core's instruction budget is
 // consumed.
+//
+//starnuma:hotpath step-A/B phase replay, one call per phase
 func runPhaseTrace(gen AccessSource, phase int, phaseInstr uint64,
 	visit func(core int, a workload.Access)) {
 	gen.ResetPhase(phase)

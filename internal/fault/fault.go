@@ -41,6 +41,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"starnuma/internal/stats"
 )
 
 // Kind names a fault event's behaviour.
@@ -176,7 +178,7 @@ func (e Event) validate() error {
 	if e.FromNS < 0 || e.ToNS < 0 {
 		return fmt.Errorf("negative time range [%v, %v)", e.FromNS, e.ToNS)
 	}
-	if e.ToNS != 0 && e.ToNS <= e.FromNS {
+	if !stats.IsZero(e.ToNS) && e.ToNS <= e.FromNS {
 		return fmt.Errorf("empty time range [%vns, %vns)", e.FromNS, e.ToNS)
 	}
 	switch e.Kind {
@@ -184,10 +186,10 @@ func (e Event) validate() error {
 		if !isLinkClass(class) {
 			return fmt.Errorf("degrade needs a link target, got %q", e.Target)
 		}
-		if e.LatencyX != 0 && e.LatencyX < 1 {
+		if !stats.IsZero(e.LatencyX) && e.LatencyX < 1 {
 			return fmt.Errorf("latency_x %v < 1", e.LatencyX)
 		}
-		if e.BandwidthDiv != 0 && e.BandwidthDiv < 1 {
+		if !stats.IsZero(e.BandwidthDiv) && e.BandwidthDiv < 1 {
 			return fmt.Errorf("bandwidth_div %v < 1", e.BandwidthDiv)
 		}
 		if e.LatencyX <= 1 && e.BandwidthDiv <= 1 {
@@ -213,7 +215,7 @@ func (e Event) validate() error {
 		if _, err := killChannel(sub); err != nil {
 			return err
 		}
-		if e.ToPhase != 0 || e.FromNS != 0 || e.ToNS != 0 {
+		if e.ToPhase != 0 || !stats.IsZero(e.FromNS) || !stats.IsZero(e.ToNS) {
 			return fmt.Errorf("kill is permanent: to_phase/from_ns/to_ns must be unset")
 		}
 	case Capacity:
@@ -223,7 +225,7 @@ func (e Event) validate() error {
 		if e.CapacityFrac <= 0 || e.CapacityFrac >= 1 {
 			return fmt.Errorf("capacity_frac %v must be in (0, 1)", e.CapacityFrac)
 		}
-		if e.FromNS != 0 || e.ToNS != 0 {
+		if !stats.IsZero(e.FromNS) || !stats.IsZero(e.ToNS) {
 			return fmt.Errorf("capacity is phase-granular: from_ns/to_ns must be unset")
 		}
 	default:

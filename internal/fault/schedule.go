@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"starnuma/internal/sim"
+	"starnuma/internal/stats"
 )
 
 // compiledEvent is an Event with its scheduling fields converted to
@@ -73,7 +74,7 @@ func NewSchedule(p *Plan) *Schedule {
 			toPhase:   e.ToPhase,
 			from:      sim.FromNanos(e.FromNS),
 			to:        sim.FromNanos(e.ToNS),
-			openEnd:   e.ToNS == 0,
+			openEnd:   stats.IsZero(e.ToNS),
 			latX:      e.LatencyX,
 			bwDiv:     e.BandwidthDiv,
 			period:    sim.FromNanos(e.PeriodNS),
@@ -193,7 +194,7 @@ func (s *Schedule) Pool(phase, channels int) PoolState {
 			// Validate rejects overlapping capacity events, but compose
 			// multiplicatively anyway so a defensively-compiled schedule
 			// stays monotone.
-			if ps.CapacityFrac == 0 {
+			if stats.IsZero(ps.CapacityFrac) {
 				ps.CapacityFrac = 1
 			}
 			ps.CapacityFrac *= ce.capFrac

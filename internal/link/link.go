@@ -16,6 +16,7 @@ import (
 	"starnuma/internal/evtrace"
 	"starnuma/internal/fault"
 	"starnuma/internal/sim"
+	"starnuma/internal/stats"
 )
 
 // faultTraceSample records every N-th fault-adjusted send; adjusted
@@ -82,9 +83,11 @@ func (l *Link) SetTrace(buf *evtrace.Buffer, lane string) {
 // Send models transmitting a message of size bytes arriving at the link
 // at time now. It returns the time the message is delivered at the far
 // end and the queuing delay it suffered waiting for the wire.
+//
+//starnuma:hotpath one call per message on every traversed channel
 func (l *Link) Send(now sim.Time, bytes int) (delivered, queuing sim.Time) {
 	if bytes < 0 {
-		panic(fmt.Sprintf("link %s: negative message size %d", l.name, bytes))
+		l.sizePanic(bytes)
 	}
 	arrived := now
 	latency, psPerByte := l.latency, l.psPerByte
@@ -105,7 +108,7 @@ func (l *Link) Send(now sim.Time, bytes int) (delivered, queuing sim.Time) {
 	l.messages++
 	l.bytesMoved += uint64(bytes)
 	delivered = l.nextFree + latency
-	if l.trc.Enabled() && (retry > 0 || latency != l.latency || psPerByte != l.psPerByte) {
+	if l.trc.Enabled() && (retry > 0 || latency != l.latency || !stats.SameFloat(psPerByte, l.psPerByte)) {
 		l.trcN++
 		if l.trcN%faultTraceSample == 1 {
 			l.trc.SpanArgs("fault", "adjusted send", l.trcLane, arrived, delivered-arrived,
@@ -114,6 +117,14 @@ func (l *Link) Send(now sim.Time, bytes int) (delivered, queuing sim.Time) {
 		}
 	}
 	return delivered, queuing
+}
+
+// sizePanic reports a negative message size. Split out of Send so the
+// hot path keeps no fmt reference.
+//
+//starnuma:coldpath
+func (l *Link) sizePanic(bytes int) {
+	panic(fmt.Sprintf("link %s: negative message size %d", l.name, bytes))
 }
 
 // Stats is a snapshot of a link's lifetime counters.

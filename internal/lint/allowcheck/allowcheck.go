@@ -1,0 +1,55 @@
+// Package allowcheck audits //starnumavet:allow directives themselves.
+//
+// An allow directive is a hole in the determinism contract, so each one
+// must be well-formed (name a registered analyzer, give a reason) and
+// earn its keep (suppress at least one diagnostic on this run).
+// Misspelled analyzer names and stale directives that no longer
+// suppress anything would otherwise rot silently — an allow for a long-
+// fixed finding reads as if the exemption were still needed, and a typo
+// in the analyzer name suppresses nothing while looking like it does.
+//
+// allowcheck is a RunAfter meta-analyzer: the driver runs it once every
+// ordinary analyzer has finished, so the shared allow index has
+// recorded which directives actually fired. Its own findings cannot be
+// suppressed by allow directives.
+package allowcheck
+
+import (
+	"fmt"
+
+	"starnuma/internal/lint/analysis"
+)
+
+// Analyzer is the allowcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "allowcheck",
+	Doc: "reject malformed, misspelled, and stale //starnumavet:allow directives\n\n" +
+		"Every allow directive must name a registered analyzer, carry a\n" +
+		"reason, and suppress at least one diagnostic; anything else is an\n" +
+		"error. Runs after all other analyzers so suppression usage is known.",
+	RunAfter: true,
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ix := pass.AllowIndex()
+	for _, d := range ix.Directives() {
+		switch {
+		case d.Analyzer == "":
+			report(pass, d, "allow directive names no analyzer; write //starnumavet:allow <analyzer> <reason>")
+		case d.Reason == "":
+			report(pass, d, "allow directive for %q has no reason and therefore suppresses nothing; add the reason or delete it", d.Analyzer)
+		case !ix.IsRegistered(d.Analyzer):
+			report(pass, d, "allow directive names unknown analyzer %q; it suppresses nothing", d.Analyzer)
+		case !ix.Used(pass.Fset, d):
+			report(pass, d, "stale allow directive: no %s diagnostic here to suppress; delete it", d.Analyzer)
+		}
+	}
+	return nil, nil
+}
+
+// report emits directly through pass.Report, bypassing allow
+// suppression: an allow cannot excuse another allow.
+func report(pass *analysis.Pass, d analysis.AllowInfo, format string, args ...interface{}) {
+	pass.Report(analysis.Diagnostic{Pos: d.Pos, Message: fmt.Sprintf(format, args...)})
+}

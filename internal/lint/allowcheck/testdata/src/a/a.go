@@ -1,0 +1,21 @@
+package a
+
+// usedStandalone: a directive alone on its line covers the line below;
+// this one suppresses a real floatdet finding, so allowcheck is silent.
+func usedStandalone(x, y float64) bool {
+	//starnumavet:allow floatdet sentinel equality on a value we wrote ourselves
+	return x == y
+}
+
+// usedTrailing: same, trailing the offending line.
+func usedTrailing(x, y float64) bool {
+	return x == y //starnumavet:allow floatdet sentinel equality on a value we wrote ourselves
+}
+
+func bad(x int) int {
+	//starnumavet:allow // want `allow directive names no analyzer`
+	//starnumavet:allow floatdet // want `allow directive for "floatdet" has no reason`
+	//starnumavet:allow floatdte typo of the analyzer name // want `allow directive names unknown analyzer "floatdte"`
+	//starnumavet:allow floatdet nothing to suppress here // want `stale allow directive: no floatdet diagnostic here to suppress`
+	return x + 1
+}

@@ -2,14 +2,16 @@
 // the golang.org/x/tools/go/analysis model, sized for starnumavet.
 //
 // The repository is stdlib-only by policy (DESIGN.md §2), so rather
-// than vendoring x/tools this package provides the three pieces the
+// than vendoring x/tools this package provides the pieces the
 // determinism lint suite needs:
 //
 //   - the Analyzer/Pass/Diagnostic contract analyzers are written
 //     against (this file);
 //   - a package loader driving `go list -export` + go/importer for
 //     standalone runs and test fixtures (load.go);
-//   - the `go vet -vettool` unitchecker protocol (unitchecker.go).
+//   - the `go vet -vettool` unitchecker protocol (unitchecker.go);
+//   - a machine-readable diagnostics report with baseline diffing for
+//     CI (report.go).
 //
 // Analyzers written against this package look exactly like x/tools
 // analyzers, so they can be ported wholesale if the dependency policy
@@ -22,6 +24,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 	"strings"
 )
 
@@ -34,6 +37,12 @@ type Analyzer struct {
 	// Flags holds analyzer-specific flags, registered by the driver as
 	// -<name>.<flag> in multichecker mode.
 	Flags flag.FlagSet
+
+	// RunAfter marks a meta-analyzer that must run after every ordinary
+	// analyzer on the package: its pass observes the shared AllowIndex
+	// (directives, suppression usage, registered analyzer names). The
+	// allowcheck analyzer is the only RunAfter pass today.
+	RunAfter bool
 
 	Run func(*Pass) (interface{}, error)
 }
@@ -49,9 +58,10 @@ type Pass struct {
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
 
-	// allow maps filename -> directive line -> the analyzers permitted
-	// by a //starnumavet:allow directive there.
-	allow map[string]map[int]allowEntry
+	// allow is the package's shared allow-directive index. The driver
+	// builds it once per package; a Pass constructed by hand (tests)
+	// builds it lazily on first use.
+	allow *AllowIndex
 }
 
 // A Diagnostic is one finding.
@@ -69,14 +79,32 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
+// AllowIndex returns the pass's shared allow-directive index, building
+// it from the pass's files on first use.
+func (p *Pass) AllowIndex() *AllowIndex {
+	if p.allow == nil {
+		p.allow = NewAllowIndex(p.Fset, p.Files)
+	}
+	return p.allow
+}
+
 // AllowDirective is the comment prefix that suppresses a diagnostic:
 //
 //	//starnumavet:allow <analyzer> <reason>
 //
 // placed on the flagged line or the line immediately above it. A
 // directive without a reason is ignored — every exemption must say why
-// (the determinism contract in README.md explains the policy).
+// (the determinism contract in README.md explains the policy). The
+// allowcheck analyzer turns reasonless, misspelled and stale directives
+// into errors of their own.
 const AllowDirective = "//starnumavet:allow"
+
+// AllowInfo describes one parsed //starnumavet:allow directive.
+type AllowInfo struct {
+	Pos      token.Pos
+	Analyzer string // first field after the directive ("" if none)
+	Reason   string // remainder; "" marks an inert, reasonless directive
+}
 
 // allowEntry records the analyzers a directive line permits and
 // whether the directive stands alone on its line (in which case it
@@ -86,26 +114,28 @@ type allowEntry struct {
 	standalone bool
 }
 
-// Allowed reports whether an allow directive for this pass's analyzer
-// covers pos: a directive trailing code covers that line only; a
-// directive alone on a line covers the line below it.
-func (p *Pass) Allowed(pos token.Pos) bool {
-	if p.allow == nil {
-		p.allow = buildAllowIndex(p.Fset, p.Files)
-	}
-	posn := p.Fset.Position(pos)
-	lines := p.allow[posn.Filename]
-	if e, ok := lines[posn.Line]; ok && e.analyzers[p.Analyzer.Name] {
-		return true
-	}
-	if e, ok := lines[posn.Line-1]; ok && e.standalone && e.analyzers[p.Analyzer.Name] {
-		return true
-	}
-	return false
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
 }
 
-func buildAllowIndex(fset *token.FileSet, files []*ast.File) map[string]map[int]allowEntry {
-	idx := make(map[string]map[int]allowEntry)
+// AllowIndex is one package's parsed //starnumavet:allow directives
+// plus their suppression usage, shared by every pass the driver runs so
+// the allowcheck analyzer can flag stale or misspelled directives.
+type AllowIndex struct {
+	directives []AllowInfo
+	byLine     map[string]map[int]allowEntry
+	used       map[allowKey]bool
+	registered map[string]bool
+}
+
+// NewAllowIndex parses the files' allow directives.
+func NewAllowIndex(fset *token.FileSet, files []*ast.File) *AllowIndex {
+	ix := &AllowIndex{
+		byLine: make(map[string]map[int]allowEntry),
+		used:   make(map[allowKey]bool),
+	}
 	for _, f := range files {
 		// Lines on which a non-comment token starts: a directive on such
 		// a line trails code and must not cover the next line.
@@ -124,39 +154,105 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) map[string]map[int]
 				if !ok {
 					continue
 				}
+				// The payload ends at an embedded "//": it marks a nested
+				// comment (fixtures put // want checks there), not reason text.
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				info := AllowInfo{Pos: c.Pos()}
 				fields := strings.Fields(rest)
-				if len(fields) < 2 {
+				if len(fields) > 0 {
+					info.Analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					info.Reason = strings.Join(fields[1:], " ")
+				}
+				ix.directives = append(ix.directives, info)
+				if info.Analyzer == "" || info.Reason == "" {
 					continue // no reason given: directive has no effect
 				}
 				posn := fset.Position(c.Pos())
-				lines := idx[posn.Filename]
+				lines := ix.byLine[posn.Filename]
 				if lines == nil {
 					lines = make(map[int]allowEntry)
-					idx[posn.Filename] = lines
+					ix.byLine[posn.Filename] = lines
 				}
 				e, ok := lines[posn.Line]
 				if !ok {
 					e = allowEntry{analyzers: make(map[string]bool), standalone: !codeLines[posn.Line]}
 				}
-				e.analyzers[fields[0]] = true
+				e.analyzers[info.Analyzer] = true
 				lines[posn.Line] = e
 			}
 		}
 	}
-	return idx
+	return ix
 }
 
-// runResult pairs an analyzer with its findings on one package.
-type runResult struct {
+// SetRegistered records the analyzer names the driver is running, so
+// allowcheck can reject directives naming analyzers that do not exist.
+func (ix *AllowIndex) SetRegistered(names []string) {
+	ix.registered = make(map[string]bool, len(names))
+	for _, n := range names {
+		ix.registered[n] = true
+	}
+}
+
+// IsRegistered reports whether name is a driver-registered analyzer.
+// Without a driver (hand-built passes) every name is accepted.
+func (ix *AllowIndex) IsRegistered(name string) bool {
+	if ix.registered == nil {
+		return true
+	}
+	return ix.registered[name]
+}
+
+// Directives returns every parsed allow directive, including inert
+// (reasonless) and misspelled ones.
+func (ix *AllowIndex) Directives() []AllowInfo { return ix.directives }
+
+// Used reports whether the directive at pos for the given analyzer
+// suppressed at least one diagnostic.
+func (ix *AllowIndex) Used(fset *token.FileSet, d AllowInfo) bool {
+	posn := fset.Position(d.Pos)
+	return ix.used[allowKey{posn.Filename, posn.Line, d.Analyzer}]
+}
+
+// allowed reports whether a directive for analyzer covers posn, and
+// records the suppression: a directive trailing code covers that line
+// only; a directive alone on a line covers the line below it.
+func (ix *AllowIndex) allowed(analyzer string, posn token.Position) bool {
+	lines := ix.byLine[posn.Filename]
+	if e, ok := lines[posn.Line]; ok && e.analyzers[analyzer] {
+		ix.used[allowKey{posn.Filename, posn.Line, analyzer}] = true
+		return true
+	}
+	if e, ok := lines[posn.Line-1]; ok && e.standalone && e.analyzers[analyzer] {
+		ix.used[allowKey{posn.Filename, posn.Line - 1, analyzer}] = true
+		return true
+	}
+	return false
+}
+
+// Allowed reports whether an allow directive for this pass's analyzer
+// covers pos, recording the suppression in the shared index.
+func (p *Pass) Allowed(pos token.Pos) bool {
+	return p.AllowIndex().allowed(p.Analyzer.Name, p.Fset.Position(pos))
+}
+
+// Result pairs an analyzer with its findings on one package.
+type Result struct {
 	Analyzer    *Analyzer
 	Diagnostics []Diagnostic
 	Err         error
 }
 
-// runAnalyzers executes each analyzer over the package, filtering
+// RunAnalyzers executes each analyzer over the package, filtering
 // _test.go files out of the pass (the determinism contract covers
-// shipped code; tests may time things and read the environment).
-func runAnalyzers(analyzers []*Analyzer, pkg *Package) []runResult {
+// shipped code; tests may time things and read the environment). All
+// passes share one AllowIndex; RunAfter analyzers run last and observe
+// the suppression usage the ordinary analyzers accumulated.
+func RunAnalyzers(analyzers []*Analyzer, pkg *Package) []Result {
 	var nonTest []*ast.File
 	for _, f := range pkg.Files {
 		name := pkg.Fset.Position(f.Pos()).Filename
@@ -165,9 +261,32 @@ func runAnalyzers(analyzers []*Analyzer, pkg *Package) []runResult {
 		}
 		nonTest = append(nonTest, f)
 	}
-	results := make([]runResult, len(analyzers))
+	ix := NewAllowIndex(pkg.Fset, nonTest)
+	names := make([]string, len(analyzers))
 	for i, a := range analyzers {
-		res := &results[i]
+		names[i] = a.Name
+	}
+	ix.SetRegistered(names)
+
+	ordered := make([]*Analyzer, 0, len(analyzers))
+	for _, a := range analyzers {
+		if !a.RunAfter {
+			ordered = append(ordered, a)
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunAfter {
+			ordered = append(ordered, a)
+		}
+	}
+
+	indexOf := make(map[*Analyzer]int, len(analyzers))
+	for i, a := range analyzers {
+		indexOf[a] = i
+	}
+	results := make([]Result, len(analyzers))
+	for _, a := range ordered {
+		res := &results[indexOf[a]]
 		res.Analyzer = a
 		pass := &Pass{
 			Analyzer:  a,
@@ -176,13 +295,14 @@ func runAnalyzers(analyzers []*Analyzer, pkg *Package) []runResult {
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
 			Report:    func(d Diagnostic) { res.Diagnostics = append(res.Diagnostics, d) },
+			allow:     ix,
 		}
 		_, res.Err = a.Run(pass)
 	}
 	return results
 }
 
-// The loader fills this in; declared here so runAnalyzers can live next
+// The loader fills this in; declared here so RunAnalyzers can live next
 // to the Pass type it builds.
 type Package struct {
 	ImportPath string
@@ -203,4 +323,33 @@ func NewInfo() *types.Info {
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
+}
+
+// sortDiagnostics orders flat (position, analyzer, message) findings
+// deterministically.
+func sortDiagnostics(all []flatDiag) {
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.posn.Filename != b.posn.Filename {
+			return a.posn.Filename < b.posn.Filename
+		}
+		if a.posn.Line != b.posn.Line {
+			return a.posn.Line < b.posn.Line
+		}
+		if a.posn.Column != b.posn.Column {
+			return a.posn.Column < b.posn.Column
+		}
+		if a.analyzer != b.analyzer {
+			return a.analyzer < b.analyzer
+		}
+		return a.msg < b.msg
+	})
+}
+
+// flatDiag is one finding with its position resolved, the driver's
+// common currency for text output, JSON reports and baselines.
+type flatDiag struct {
+	posn     token.Position
+	analyzer string
+	msg      string
 }

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{Schema: ReportSchema, Diagnostics: []JSONDiagnostic{
+		{File: "internal/link/link.go", Line: 9, Col: 3, Analyzer: "floatdet", Message: "float == comparison"},
+		{File: "internal/core/system.go", Line: 41, Col: 7, Analyzer: "hotalloc", Message: "hot path (sendPage): append allocates"},
+		{File: "internal/core/system.go", Line: 12, Col: 2, Analyzer: "detclock", Message: "time.Now reads the wall clock"},
+	}}
+}
+
+// TestReportRoundTrip: decode(encode(diags)) == diags, with the
+// canonical sort applied — a report survives the write/commit/read
+// cycle CI puts baselines through.
+func TestReportRoundTrip(t *testing.T) {
+	r := sampleReport()
+	got, err := DecodeReport(r.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleReport()
+	want.Sort()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestReportEncodeStable: the same findings encode to identical bytes
+// regardless of input order, and an empty report keeps an explicit
+// empty diagnostics array (never JSON null).
+func TestReportEncodeStable(t *testing.T) {
+	a := sampleReport()
+	b := sampleReport()
+	b.Diagnostics[0], b.Diagnostics[2] = b.Diagnostics[2], b.Diagnostics[0]
+	if !bytes.Equal(a.Encode(), b.Encode()) {
+		t.Error("encoding depends on input order")
+	}
+
+	empty := (&Report{Schema: ReportSchema}).Encode()
+	if !bytes.Contains(empty, []byte(`"diagnostics": []`)) {
+		t.Errorf("empty report lacks explicit empty array:\n%s", empty)
+	}
+	if empty[len(empty)-1] != '\n' {
+		t.Error("encoding is not newline-terminated")
+	}
+}
+
+// TestDecodeReportRejectsCorrupt: invalid JSON and foreign schemas are
+// both rejected with an error matching ErrBadBaseline, so the driver
+// can distinguish "bad baseline file" from "no baseline file".
+func TestDecodeReportRejectsCorrupt(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		data string
+	}{
+		{"truncated JSON", `{"schema": "starnumavet-diagnostics-v1", "diagnostics": [`},
+		{"not JSON", "findings: none\n"},
+		{"missing schema", `{"diagnostics": []}`},
+		{"foreign schema", `{"schema": "somebody-elses-v9", "diagnostics": []}`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeReport([]byte(tc.data))
+			if !errors.Is(err, ErrBadBaseline) {
+				t.Fatalf("DecodeReport = %v, want ErrBadBaseline", err)
+			}
+		})
+	}
+}
+
+// TestLoadBaseline covers the file-level wrapper: a good file decodes,
+// a missing file surfaces the os error untouched (callers treat it
+// differently from corruption).
+func TestLoadBaseline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(path, sampleReport().Encode(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Diagnostics) != 3 {
+		t.Fatalf("loaded %d diagnostics, want 3", len(r.Diagnostics))
+	}
+	if _, err := LoadBaseline(filepath.Join(dir, "absent.json")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing baseline = %v, want os.ErrNotExist", err)
+	}
+}
+
+// TestDiffMultiset: baseline diffing is by (file, analyzer, message)
+// multiset — line drift does not resurrect baselined findings, but a
+// *second* instance of a baselined finding is new.
+func TestDiffMultiset(t *testing.T) {
+	base := &Report{Schema: ReportSchema, Diagnostics: []JSONDiagnostic{
+		{File: "a.go", Line: 10, Analyzer: "floatdet", Message: "m"},
+	}}
+	cur := &Report{Schema: ReportSchema, Diagnostics: []JSONDiagnostic{
+		{File: "a.go", Line: 99, Analyzer: "floatdet", Message: "m"},  // moved: covered
+		{File: "a.go", Line: 120, Analyzer: "floatdet", Message: "m"}, // second instance: new
+		{File: "b.go", Line: 1, Analyzer: "hotalloc", Message: "n"},   // new file: new
+	}}
+	got := Diff(cur, base)
+	if len(got.Diagnostics) != 2 {
+		t.Fatalf("Diff kept %d findings, want 2: %+v", len(got.Diagnostics), got.Diagnostics)
+	}
+	if got.Diagnostics[0].Line != 120 || got.Diagnostics[1].File != "b.go" {
+		t.Fatalf("Diff kept the wrong findings: %+v", got.Diagnostics)
+	}
+
+	// Fixing every finding yields an empty, well-formed report.
+	clean := Diff(&Report{Schema: ReportSchema}, base)
+	if len(clean.Diagnostics) != 0 || clean.Diagnostics == nil {
+		t.Fatalf("empty diff = %+v", clean)
+	}
+}
+
+// TestModRelative: paths inside this module become module-relative
+// with forward slashes; paths outside any module pass through.
+func TestModRelative(t *testing.T) {
+	abs, err := filepath.Abs(filepath.Join("..", "..", "..", "internal", "sim", "engine.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := modRelative(abs); got != "internal/sim/engine.go" {
+		t.Errorf("modRelative(%s) = %q", abs, got)
+	}
+	outside := filepath.Join(string(filepath.Separator), "nonexistent-root", "f.go")
+	if got := modRelative(outside); got != filepath.ToSlash(outside) {
+		t.Errorf("modRelative(outside module) = %q", got)
+	}
+}

@@ -12,7 +12,6 @@ import (
 	"log"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 )
 
@@ -24,6 +23,15 @@ import (
 //	go vet -vettool=starnumavet   build-system mode: the go command
 //	                              invokes the binary per compilation
 //	                              unit with a JSON .cfg file
+//
+// Standalone mode additionally supports a machine-readable pipeline:
+//
+//	-json                  emit the diagnostics report (ReportSchema)
+//	                       on stdout instead of text on stderr
+//	-baseline file         subtract the committed baseline's findings;
+//	                       only new findings count toward the exit code
+//	-writebaseline file    write the current findings as a baseline and
+//	                       exit 0
 //
 // The build-system protocol (mirroring x/tools' unitchecker) is:
 //
@@ -37,6 +45,9 @@ func Main(analyzers ...*Analyzer) {
 
 	flag.Var(versionFlag{}, "V", "print version and exit (-V=full, used by go vet)")
 	printflags := flag.Bool("flags", false, "print analyzer flags in JSON (used by go vet)")
+	jsonOut := flag.Bool("json", false, "standalone mode: print a machine-readable diagnostics report on stdout")
+	baseline := flag.String("baseline", "", "standalone mode: baseline report file; only findings absent from it count")
+	writeBaseline := flag.String("writebaseline", "", "standalone mode: write the current findings to this baseline file and exit 0")
 	for _, a := range analyzers {
 		prefix := a.Name + "."
 		a.Flags.VisitAll(func(f *flag.Flag) {
@@ -66,7 +77,11 @@ func Main(analyzers ...*Analyzer) {
 		runUnit(args[0], analyzers)
 		return
 	}
-	runStandalone(args, analyzers)
+	runStandalone(args, analyzers, standaloneOpts{
+		json:          *jsonOut,
+		baseline:      *baseline,
+		writeBaseline: *writeBaseline,
+	})
 }
 
 // versionFlag implements the -V=full protocol: the go command hashes
@@ -185,33 +200,76 @@ func runUnit(cfgFile string, analyzers []*Analyzer) {
 		}
 		log.Fatal(err)
 	}
-	os.Exit(report(runAnalyzers(analyzers, pkg), fset))
+	os.Exit(report(RunAnalyzers(analyzers, pkg), fset))
+}
+
+// standaloneOpts carries the standalone-mode output flags.
+type standaloneOpts struct {
+	json          bool
+	baseline      string
+	writeBaseline string
 }
 
 // runStandalone loads the given package patterns from the current
 // directory and analyzes them all.
-func runStandalone(patterns []string, analyzers []*Analyzer) {
+func runStandalone(patterns []string, analyzers []*Analyzer, opts standaloneOpts) {
 	pkgs, err := Load("", patterns...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	exit := 0
+	var all []flatDiag
+	hadErr := false
 	for _, pkg := range pkgs {
-		if code := report(runAnalyzers(analyzers, pkg), pkg.Fset); code != 0 {
-			exit = code
+		for _, res := range RunAnalyzers(analyzers, pkg) {
+			if res.Err != nil {
+				log.Println(res.Err)
+				hadErr = true
+			}
+			for _, d := range res.Diagnostics {
+				all = append(all, flatDiag{pkg.Fset.Position(d.Pos), res.Analyzer.Name, d.Message})
+			}
 		}
+	}
+	sortDiagnostics(all)
+	rep := NewReport(all)
+
+	if opts.writeBaseline != "" {
+		if err := os.WriteFile(opts.writeBaseline, rep.Encode(), 0o666); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote baseline %s (%d findings)", opts.writeBaseline, len(rep.Diagnostics))
+		if hadErr {
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	if opts.baseline != "" {
+		base, err := LoadBaseline(opts.baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep = Diff(rep, base)
+	}
+
+	exit := 0
+	if hadErr || len(rep.Diagnostics) > 0 {
+		exit = 1
+	}
+	if opts.json {
+		os.Stdout.Write(rep.Encode())
+		os.Exit(exit)
+	}
+	for _, d := range rep.Diagnostics {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s [%s]\n", d.File, d.Line, d.Col, d.Message, d.Analyzer)
 	}
 	os.Exit(exit)
 }
 
 // report prints diagnostics (sorted by position so output is itself
-// deterministic) and returns the exit code.
-func report(results []runResult, fset *token.FileSet) int {
-	type flat struct {
-		posn token.Position
-		msg  string
-	}
-	var all []flat
+// deterministic) and returns the exit code. Used by the per-unit vet
+// protocol, where baselines and JSON reports do not apply.
+func report(results []Result, fset *token.FileSet) int {
+	var all []flatDiag
 	exit := 0
 	for _, res := range results {
 		if res.Err != nil {
@@ -219,25 +277,12 @@ func report(results []runResult, fset *token.FileSet) int {
 			exit = 1
 		}
 		for _, d := range res.Diagnostics {
-			all = append(all, flat{fset.Position(d.Pos),
-				fmt.Sprintf("%s [%s]", d.Message, res.Analyzer.Name)})
+			all = append(all, flatDiag{fset.Position(d.Pos), res.Analyzer.Name, d.Message})
 		}
 	}
-	sort.Slice(all, func(i, j int) bool {
-		a, b := all[i], all[j]
-		if a.posn.Filename != b.posn.Filename {
-			return a.posn.Filename < b.posn.Filename
-		}
-		if a.posn.Line != b.posn.Line {
-			return a.posn.Line < b.posn.Line
-		}
-		if a.posn.Column != b.posn.Column {
-			return a.posn.Column < b.posn.Column
-		}
-		return a.msg < b.msg
-	})
+	sortDiagnostics(all)
 	for _, d := range all {
-		fmt.Fprintf(os.Stderr, "%s: %s\n", d.posn, d.msg)
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.posn, d.msg, d.analyzer)
 		exit = 1
 	}
 	return exit

@@ -1,0 +1,67 @@
+package a
+
+import "math"
+
+type reading struct{ v float64 }
+
+func compares(x, y float64, r reading) bool {
+	if x == y { // want `float == comparison in simulation package a; use stats.SameFloat`
+		return true
+	}
+	if x != y { // want `float != comparison in simulation package a; use stats.SameFloat`
+		return true
+	}
+	if r.v == x { // want `float == comparison`
+		return true
+	}
+	return false
+}
+
+func zeroGuards(x float64) float64 {
+	if x == 0 { // want `float == 0 comparison in simulation package a; use stats.IsZero`
+		return 0
+	}
+	if 0.0 != x { // want `float != 0 comparison`
+		return 1 / x
+	}
+	return x
+}
+
+func specials(x float64) bool {
+	if x == math.NaN() { // want `comparing against math.NaN\(\) with == is always false; use math.IsNaN`
+		return true
+	}
+	if x != math.NaN() { // want `comparing against math.NaN\(\) with != is always true; use math.IsNaN`
+		return true
+	}
+	if x == math.Inf(1) { // want `comparing against math.Inf with == is fragile; use math.IsInf`
+		return true
+	}
+	return x != x // want `x != x as a NaN test is obscure; use math.IsNaN`
+}
+
+type celsius float64
+
+func named(a, b celsius) bool {
+	return a == b // want `float == comparison`
+}
+
+// Negative cases: none of these may be flagged.
+func clean(x, y float64, n int) bool {
+	if n == 0 { // integers are fine
+		return false
+	}
+	if x < y || x >= y { // ordering comparisons are fine
+		return true
+	}
+	if math.IsNaN(x) || math.IsInf(x, 0) { // the sanctioned forms
+		return true
+	}
+	const a, b = 1.5, 2.5
+	return a == b // both operands constant: folded at compile time
+}
+
+func allowed(x float64) bool {
+	//starnumavet:allow floatdet exact sentinel comparison against a value we stored ourselves
+	return x == 12.5
+}

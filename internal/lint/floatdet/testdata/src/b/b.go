@@ -1,0 +1,8 @@
+package b
+
+// Package b stands in for the orchestration layer (runner/exp/cmd),
+// which is outside floatdet's package scope: the same comparison that
+// is an error in package a is fine here.
+func compare(x, y float64) bool {
+	return x == y
+}

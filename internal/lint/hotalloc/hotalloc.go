@@ -1,0 +1,348 @@
+// Package hotalloc enforces allocation-free discipline on the
+// simulator's hot path.
+//
+// Functions annotated //starnuma:hotpath — and everything they
+// statically call in the same package — form the step-C window
+// perimeter: the code that runs once per simulated event. Inside it the
+// analyzer forbids the constructs that heap-allocate, dispatch
+// dynamically, or carry hidden per-call costs:
+//
+//   - &composite literals, and slice/map composite literals
+//   - the append and new builtins
+//   - boxing a concrete non-pointer value into an interface
+//   - ranging over a map (nondeterministic order, hash-walk overhead)
+//   - defer
+//   - any reference to package fmt
+//
+// A //starnuma:coldpath annotation excludes a callee from the closure:
+// once-per-window setup, teardown, and error paths may allocate freely.
+// Bounded, deliberate exceptions inside the perimeter carry a
+// //starnumavet:allow hotalloc directive with the reason.
+//
+// The closure is intra-package: export data has no function bodies, so
+// a hot function in another package must carry its own
+// //starnuma:hotpath annotation (the step-C perimeter in
+// internal/{sim,core,link,tlb,coherence,memdev,migrate,cache,stats,
+// metrics} is annotated this way). Calls through function values and
+// interfaces are invisible to the closure as well — keep the hot path
+// statically dispatched, which is the point of the exercise.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"starnuma/internal/lint/analysis"
+)
+
+// Directives recognised on function declarations.
+const (
+	HotDirective  = "//starnuma:hotpath"
+	ColdDirective = "//starnuma:coldpath"
+)
+
+// Analyzer is the hotalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "forbid allocation and hidden per-call costs in //starnuma:hotpath functions\n\n" +
+		"Hot-path functions and their same-package static callees must not\n" +
+		"use composite-literal allocation, append, new, interface boxing, map\n" +
+		"iteration, defer, or fmt. Mark once-per-window setup callees\n" +
+		"//starnuma:coldpath to exclude them.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// Index every function declaration in the package, in source order
+	// so the closure walk (and thus provenance labels) is deterministic.
+	var order []*types.Func
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	hot := make(map[*types.Func]bool)
+	cold := make(map[*types.Func]bool)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			order = append(order, obj)
+			decls[obj] = fd
+			if hasDirective(fd.Doc, HotDirective) {
+				hot[obj] = true
+			}
+			if hasDirective(fd.Doc, ColdDirective) {
+				cold[obj] = true
+			}
+			if hot[obj] && cold[obj] {
+				pass.Reportf(fd.Name.Pos(), "function %s is marked both %s and %s", funcLabel(fd), HotDirective, ColdDirective)
+			}
+		}
+	}
+
+	// Transitive closure over static same-package calls, rooted at the
+	// annotated functions. via records each function's discovering
+	// caller for the diagnostic label.
+	via := make(map[*types.Func]*types.Func)
+	inClosure := make(map[*types.Func]bool)
+	var queue []*types.Func
+	for _, fn := range order {
+		if hot[fn] && !cold[fn] {
+			inClosure[fn] = true
+			queue = append(queue, fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, callee := range callees(pass, decls[fn]) {
+			if _, local := decls[callee]; !local || inClosure[callee] || cold[callee] {
+				continue
+			}
+			inClosure[callee] = true
+			via[callee] = fn
+			queue = append(queue, callee)
+		}
+	}
+
+	for _, fn := range order {
+		if !inClosure[fn] {
+			continue
+		}
+		fd := decls[fn]
+		label := funcLabel(fd)
+		if caller := via[fn]; caller != nil {
+			label += " (via " + funcLabel(decls[caller]) + ")"
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		checkBody(pass, fd.Body, sig, label)
+	}
+	return nil, nil
+}
+
+// callees returns the same-package functions fd statically calls, in
+// source order.
+func callees(pass *analysis.Pass, fd *ast.FuncDecl) []*types.Func {
+	var out []*types.Func
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var id *ast.Ident
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			id = fun
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		default:
+			return true
+		}
+		if fn, ok := pass.TypesInfo.Uses[id].(*types.Func); ok && fn.Pkg() == pass.Pkg {
+			out = append(out, fn)
+		}
+		return true
+	})
+	return out
+}
+
+// checkBody reports every forbidden construct in one function (or
+// function literal) body. sig provides the result types for
+// return-statement boxing checks.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt, sig *types.Signature, label string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// A literal's body runs on the hot path too (it is called
+			// from it or stored for it); check it against its own
+			// signature for returns.
+			litSig, _ := pass.TypesInfo.Types[x].Type.(*types.Signature)
+			checkBody(pass, x.Body, litSig, label)
+			return false
+
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					pass.Reportf(x.Pos(), "hot path (%s): &composite literal allocates; preallocate and reuse across windows", label)
+				}
+			}
+
+		case *ast.CompositeLit:
+			switch pass.TypesInfo.Types[x].Type.Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(x.Pos(), "hot path (%s): slice literal allocates; preallocate in cold setup", label)
+			case *types.Map:
+				pass.Reportf(x.Pos(), "hot path (%s): map literal allocates; preallocate in cold setup", label)
+			}
+
+		case *ast.CallExpr:
+			checkCall(pass, x, label)
+
+		case *ast.AssignStmt:
+			if x.Tok != token.ASSIGN || len(x.Lhs) != len(x.Rhs) {
+				break // := infers the concrete type; no boxing
+			}
+			for i, lhs := range x.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				checkBox(pass, x.Rhs[i], pass.TypesInfo.Types[lhs].Type, label)
+			}
+
+		case *ast.ValueSpec:
+			if x.Type == nil {
+				break
+			}
+			target := pass.TypesInfo.Types[x.Type].Type
+			for _, v := range x.Values {
+				checkBox(pass, v, target, label)
+			}
+
+		case *ast.ReturnStmt:
+			if sig == nil || sig.Results() == nil || len(x.Results) != sig.Results().Len() {
+				break
+			}
+			for i, res := range x.Results {
+				checkBox(pass, res, sig.Results().At(i).Type(), label)
+			}
+
+		case *ast.RangeStmt:
+			if _, ok := pass.TypesInfo.Types[x.X].Type.Underlying().(*types.Map); ok {
+				pass.Reportf(x.Pos(), "hot path (%s): map iteration is nondeterministically ordered and slow; keep a sorted slice alongside the map", label)
+			}
+
+		case *ast.DeferStmt:
+			pass.Reportf(x.Pos(), "hot path (%s): defer adds per-call overhead; call directly on each return path", label)
+
+		case *ast.Ident:
+			if pn, ok := pass.TypesInfo.Uses[x].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				pass.Reportf(x.Pos(), "hot path (%s): reference to package fmt allocates and reflects; move formatting to a //starnuma:coldpath helper", label)
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags allocation builtins and interface boxing at call
+// arguments.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, label string) {
+	fun := ast.Unparen(call.Fun)
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				pass.Reportf(call.Pos(), "hot path (%s): append may grow its backing array; preallocate capacity in cold setup", label)
+			case "new":
+				pass.Reportf(call.Pos(), "hot path (%s): new allocates; preallocate in cold setup", label)
+			}
+			return
+		}
+	}
+
+	// Conversions: T(x) where T is an interface type boxes x.
+	if tv, ok := pass.TypesInfo.Types[fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			checkBox(pass, call.Args[0], tv.Type, label)
+		}
+		return
+	}
+
+	// Ordinary calls: arguments passed to interface parameters box.
+	// Calls into fmt are already flagged wholesale by the package
+	// reference check; skip their arguments to avoid double reports.
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			return
+		}
+	}
+	sig, ok := pass.TypesInfo.Types[fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var target types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				target = params.At(params.Len() - 1).Type()
+			} else if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				target = s.Elem()
+			}
+		case i < params.Len():
+			target = params.At(i).Type()
+		}
+		checkBox(pass, arg, target, label)
+	}
+}
+
+// checkBox reports e when assigning it to target boxes a concrete
+// non-pointer value into an interface. Constants are exempt (the
+// compiler materialises them in read-only data, no allocation), as are
+// pointer-shaped values (the interface data word holds them directly).
+func checkBox(pass *analysis.Pass, e ast.Expr, target types.Type, label string) {
+	if target == nil || !types.IsInterface(target) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return
+	}
+	t := tv.Type
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	if types.IsInterface(t) || pointerShaped(t) {
+		return
+	}
+	pass.Reportf(e.Pos(), "hot path (%s): %s value boxed into interface allocates", label, types.TypeString(t, types.RelativeTo(pass.Pkg)))
+}
+
+// pointerShaped reports whether values of t fit an interface's data
+// word without allocating.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// hasDirective reports whether the doc comment carries the directive
+// (exactly, or followed by explanatory text).
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// funcLabel names a declaration for diagnostics: receiver-qualified for
+// methods (timingSystem.tryIssue), bare otherwise.
+func funcLabel(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}

@@ -1,0 +1,12 @@
+package hotalloc
+
+import (
+	"path/filepath"
+	"testing"
+
+	"starnuma/internal/lint/linttest"
+)
+
+func TestHotalloc(t *testing.T) {
+	linttest.Run(t, Analyzer, filepath.Join("testdata", "src", "a"))
+}

@@ -1,0 +1,82 @@
+package a
+
+import "fmt"
+
+type buf struct {
+	vals []int
+	m    map[int]int
+	sink interface{}
+}
+
+//starnuma:hotpath
+func hot(b *buf, x int) {
+	b.vals = append(b.vals, x) // want `hot path \(hot\): append may grow its backing array`
+	p := new(int)              // want `hot path \(hot\): new allocates`
+	_ = p
+	b.sink = x    // want `hot path \(hot\): int value boxed into interface allocates`
+	s := []int{x} // want `hot path \(hot\): slice literal allocates`
+	_ = s
+	m := map[int]int{x: x} // want `hot path \(hot\): map literal allocates`
+	_ = m
+	q := &buf{} // want `hot path \(hot\): &composite literal allocates`
+	_ = q
+	for k := range b.m { // want `hot path \(hot\): map iteration is nondeterministically ordered`
+		_ = k
+	}
+	defer cleanup() // want `hot path \(hot\): defer adds per-call overhead`
+	helper(b, x)
+	coldHelper()
+	fmtHelper(x)
+	take(x) // want `hot path \(hot\): int value boxed into interface allocates`
+}
+
+func cleanup() {}
+
+func take(v interface{}) {}
+
+// helper is reached from hot through the static call closure, so it is
+// checked too.
+func helper(b *buf, x int) {
+	b.vals = append(b.vals, x) // want `hot path \(helper \(via hot\)\): append may grow its backing array`
+}
+
+// coldHelper is excluded from the closure: once-per-window setup may
+// allocate freely.
+//
+//starnuma:coldpath
+func coldHelper() {
+	var s []int
+	s = append(s, 1)
+	_ = fmt.Sprintf("cold %d", len(s))
+}
+
+func fmtHelper(x int) {
+	_ = fmt.Sprintf("hot %d", x) // want `hot path \(fmtHelper \(via hot\)\): reference to package fmt allocates and reflects`
+}
+
+type w struct{ b buf }
+
+// methods get receiver-qualified labels.
+//
+//starnuma:hotpath
+func (v *w) step(x int) {
+	v.b.vals = append(v.b.vals, x) // want `hot path \(w\.step\): append may grow its backing array`
+}
+
+//starnuma:hotpath
+//starnuma:coldpath
+func confused() {} // want `function confused is marked both //starnuma:hotpath and //starnuma:coldpath`
+
+//starnuma:hotpath
+func allowed(b *buf, x int) {
+	//starnumavet:allow hotalloc append is bounded by the socket count, reset each window
+	b.vals = append(b.vals, x)
+}
+
+// notHot is never called from a hot root: anything goes.
+func notHot() {
+	var s []int
+	s = append(s, 1)
+	defer cleanup()
+	_ = fmt.Sprint(s)
+}

@@ -27,6 +27,17 @@ var wantRE = regexp.MustCompile("//" + `\s*want\s+(.*)$`)
 // errors.
 func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 	t.Helper()
+	RunAnalyzers(t, []*analysis.Analyzer{a}, dir)
+}
+
+// RunAnalyzers loads the fixture directory and applies several
+// analyzers through the same driver pipeline starnumavet uses
+// (analysis.RunAnalyzers), so they share one allow index. The combined
+// diagnostics are checked against the fixture's // want comments. This
+// is how meta-analyzers such as allowcheck — whose findings depend on
+// what the other analyzers suppressed — are fixture-tested.
+func RunAnalyzers(t *testing.T, analyzers []*analysis.Analyzer, dir string) {
+	t.Helper()
 	pkg, err := analysis.LoadFixture(dir)
 	if err != nil {
 		t.Fatal(err)
@@ -57,7 +68,13 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 		}
 	}
 
-	diags := Diagnostics(t, a, pkg)
+	var diags []analysis.Diagnostic
+	for _, res := range analysis.RunAnalyzers(analyzers, pkg) {
+		if res.Err != nil {
+			t.Fatalf("analyzer %s: %v", res.Analyzer.Name, res.Err)
+		}
+		diags = append(diags, res.Diagnostics...)
+	}
 	for _, d := range diags {
 		posn := pkg.Fset.Position(d.Pos)
 		k := key{posn.Filename, posn.Line}

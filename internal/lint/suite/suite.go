@@ -1,0 +1,34 @@
+// Package suite is the single registry of starnumavet's analyzers.
+//
+// cmd/starnumavet, the fixture-coverage tests, and the documentation
+// gate (TestEveryAnalyzerDocumented) all draw from Analyzers(), so a
+// new analyzer that is not registered here, documented in
+// docs/STATIC_ANALYSIS.md, and covered by fixtures fails the build.
+package suite
+
+import (
+	"starnuma/internal/lint/allowcheck"
+	"starnuma/internal/lint/analysis"
+	"starnuma/internal/lint/cycleunits"
+	"starnuma/internal/lint/detclock"
+	"starnuma/internal/lint/floatdet"
+	"starnuma/internal/lint/hotalloc"
+	"starnuma/internal/lint/maporder"
+	"starnuma/internal/lint/metricname"
+	"starnuma/internal/lint/seedrand"
+)
+
+// Analyzers returns every starnumavet analyzer, in the order the driver
+// runs them (allowcheck is RunAfter and goes last regardless).
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detclock.Analyzer,
+		seedrand.Analyzer,
+		maporder.Analyzer,
+		cycleunits.Analyzer,
+		hotalloc.Analyzer,
+		metricname.Analyzer,
+		floatdet.Analyzer,
+		allowcheck.Analyzer,
+	}
+}

@@ -99,6 +99,8 @@ func (c *Controller) UnloadedLatency() sim.Time {
 // Access services a memory access of size bytes to addr arriving at the
 // controller at time now. It returns when the data is available and the
 // queuing delay suffered at the channel.
+//
+//starnuma:hotpath one call per memory-device access
 func (c *Controller) Access(now sim.Time, addr uint64, bytes int) (done, queuing sim.Time) {
 	i := c.channelFor(addr)
 	if c.banked != nil {

@@ -35,6 +35,8 @@ func New() *Registry { return &Registry{} }
 func (r *Registry) Enabled() bool { return r != nil }
 
 // Add increments the named counter by delta.
+//
+//starnuma:hotpath counters are bumped from per-event handlers
 func (r *Registry) Add(name string, delta uint64) {
 	if r == nil {
 		return
@@ -46,6 +48,8 @@ func (r *Registry) Add(name string, delta uint64) {
 }
 
 // SetGauge records the latest value of the named gauge.
+//
+//starnuma:hotpath
 func (r *Registry) SetGauge(name string, v float64) {
 	if r == nil {
 		return
@@ -57,6 +61,8 @@ func (r *Registry) SetGauge(name string, v float64) {
 }
 
 // Observe folds v into the named histogram (power-of-two buckets).
+//
+//starnuma:hotpath histograms are fed per dispatched event
 func (r *Registry) Observe(name string, v int64) {
 	if r == nil {
 		return
@@ -66,7 +72,7 @@ func (r *Registry) Observe(name string, v int64) {
 	}
 	h := r.hists[name]
 	if h == nil {
-		h = &histogram{}
+		h = &histogram{} //starnumavet:allow hotalloc one allocation per histogram name, on its first observation only
 		r.hists[name] = h
 	}
 	h.observe(v)
@@ -75,6 +81,8 @@ func (r *Registry) Observe(name string, v int64) {
 // Point appends a (t, v) sample to the named time series. t is a
 // simulation bucket — typically the phase index or a sim-time bucket —
 // never wall-clock time.
+//
+//starnuma:hotpath
 func (r *Registry) Point(name string, t int64, v float64) {
 	if r == nil {
 		return
@@ -82,6 +90,7 @@ func (r *Registry) Point(name string, t int64, v float64) {
 	if r.series == nil {
 		r.series = make(map[string][]Point)
 	}
+	//starnumavet:allow hotalloc amortized series growth; the backing array is retained for the whole run
 	r.series[name] = append(r.series[name], Point{T: t, V: v})
 }
 

@@ -27,11 +27,15 @@ func NewPageCounts(pages, sockets int) *PageCounts {
 func (c *PageCounts) Pages() int { return len(c.counts) / c.sockets }
 
 // Record notes one access by socket to page.
+//
+//starnuma:hotpath one call per tracked access (step B)
 func (c *PageCounts) Record(socket int, page uint32) {
 	c.counts[int(page)*c.sockets+socket]++
 }
 
 // RecordWrite notes that an access to page was a store.
+//
+//starnuma:hotpath one call per tracked write
 func (c *PageCounts) RecordWrite(page uint32) {
 	c.writes[page]++
 }

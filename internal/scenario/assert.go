@@ -6,6 +6,7 @@ import (
 	"starnuma/internal/core"
 	"starnuma/internal/fault"
 	"starnuma/internal/metrics"
+	"starnuma/internal/stats"
 )
 
 // RunSet carries the simulation results Evaluate reads, keyed by
@@ -110,7 +111,7 @@ func (c *Compiled) evalOne(i int, a *Assertion, name string, rs RunSet) Check {
 			ref, label = rs.Base[name], "baseline"
 		}
 		subject = "speedup vs " + label
-		if ref == nil || ref.IPC == 0 {
+		if ref == nil || stats.IsZero(ref.IPC) {
 			chk.Detail = fmt.Sprintf("%s (%s): reference result unavailable", subject, name)
 			return chk
 		}
@@ -205,9 +206,9 @@ func cmpOp(op string, got, want float64) bool {
 	case ">=":
 		return got >= want
 	case "==":
-		return got == want
+		return stats.SameFloat(got, want)
 	case "!=":
-		return got != want
+		return !stats.SameFloat(got, want)
 	}
 	return false
 }

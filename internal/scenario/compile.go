@@ -6,6 +6,7 @@ import (
 	"starnuma/internal/core"
 	"starnuma/internal/link"
 	"starnuma/internal/pool"
+	"starnuma/internal/stats"
 	"starnuma/internal/tracker"
 	"starnuma/internal/workload"
 )
@@ -191,7 +192,7 @@ func (c *Compiled) compileSim() {
 func (c *Compiled) compileWorkloads() error {
 	s := c.Scenario
 	scale := s.Sim.Scale
-	if scale == 0 {
+	if stats.IsZero(scale) {
 		if s.Sim.Preset == "default" {
 			scale = 0.25
 		} else {

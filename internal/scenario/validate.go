@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"starnuma/internal/fault"
+	"starnuma/internal/stats"
 	"starnuma/internal/workload"
 )
 
@@ -87,13 +88,13 @@ func (s *Scenario) validateSystem() error {
 	}
 	if !hasPool {
 		switch {
-		case sys.PoolCapacityFraction != 0:
+		case !stats.IsZero(sys.PoolCapacityFraction):
 			return fieldErr("system.pool_capacity_fraction", "base %q has no pool", sys.Base)
 		case sys.PoolChannels != 0:
 			return fieldErr("system.pool_channels", "base %q has no pool", sys.Base)
 		case sys.PoolLatency != "":
 			return fieldErr("system.pool_latency", "base %q has no pool", sys.Base)
-		case sys.CXLBandwidthGBps != 0:
+		case !stats.IsZero(sys.CXLBandwidthGBps):
 			return fieldErr("system.cxl_bandwidth_gbps", "base %q has no pool", sys.Base)
 		}
 	}
@@ -318,7 +319,7 @@ func (s *Scenario) validateAssertions() error {
 				return fieldErr(field+".counter", "got %q, want one of %s", a.Counter, strings.Join(faultCounters, ", "))
 			}
 		case KindDrainComplete:
-			if a.Op != "" || a.Value != 0 {
+			if a.Op != "" || !stats.IsZero(a.Value) {
 				return fieldErr(field, "drain_complete takes no op/value")
 			}
 			if !s.hasPool() {

@@ -8,7 +8,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"starnuma/internal/metrics"
@@ -45,23 +44,66 @@ type scheduled struct {
 	fn  Event
 }
 
+// eventQueue is a binary min-heap of scheduled events ordered by
+// (at, seq). It is hand-rolled rather than built on container/heap:
+// heap.Push/Pop traffic in interface{} and would box one scheduled
+// struct per event — a heap allocation on the hottest loop in the
+// simulator. The ordering key is a total order (seq is unique), so the
+// pop sequence — and therefore every simulation result — is identical
+// to the container/heap implementation this replaces.
 type eventQueue []scheduled
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(scheduled)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+
+//starnuma:hotpath called once per scheduled event
+func (q *eventQueue) push(it scheduled) {
+	//starnumavet:allow hotalloc amortized queue growth; capacity is retained across the whole run
+	*q = append(*q, it)
+	// Sift the new tail up to its place.
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+//starnuma:hotpath called once per dispatched event
+func (q *eventQueue) pop() scheduled {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = scheduled{} // drop the closure reference so finished events can be collected
+	h = h[:n]
+	*q = h
+	// Sift the relocated root down to its place.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && h.less(r, l) {
+			min = r
+		}
+		if !h.less(min, i) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
 }
 
 // Engine is a single-threaded discrete-event scheduler.
@@ -104,18 +146,22 @@ func (e *Engine) SetMetrics(m *metrics.Registry) { e.met = m }
 // At schedules fn to run at the absolute time at. Scheduling in the past
 // panics: it always indicates a model bug, and silently reordering time
 // would corrupt every downstream statistic.
+//
+//starnuma:hotpath
 func (e *Engine) At(at Time, fn Event) { e.AtKind(at, "other", fn) }
 
 // AtKind schedules fn like At and attributes the event to kind in the
 // metrics registry ("sim/events/<kind>" counters). Kinds are a pure
 // instrumentation label; scheduling order and timing are identical to
 // At, and nothing is recorded unless SetMetrics enabled collection.
+//
+//starnuma:hotpath
 func (e *Engine) AtKind(at Time, kind string, fn Event) {
 	if at < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+		schedulePanic(at, e.now)
 	}
 	e.seq++
-	heap.Push(&e.queue, scheduled{at: at, seq: e.seq, fn: fn})
+	e.queue.push(scheduled{at: at, seq: e.seq, fn: fn})
 	if len(e.queue) > e.maxPending {
 		e.maxPending = len(e.queue)
 	}
@@ -125,11 +171,26 @@ func (e *Engine) AtKind(at Time, kind string, fn Event) {
 }
 
 // After schedules fn to run delay picoseconds from now.
+//
+//starnuma:hotpath
 func (e *Engine) After(delay Time, fn Event) {
 	if delay < 0 {
-		panic(fmt.Sprintf("sim: negative delay %v", delay))
+		delayPanic(delay)
 	}
 	e.At(e.now+delay, fn)
+}
+
+// schedulePanic reports a scheduling-in-the-past bug. Split out of
+// AtKind so the hot path keeps no fmt reference.
+//
+//starnuma:coldpath
+func schedulePanic(at, now Time) {
+	panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, now))
+}
+
+//starnuma:coldpath
+func delayPanic(delay Time) {
+	panic(fmt.Sprintf("sim: negative delay %v", delay))
 }
 
 // Halt stops the current Run/RunUntil call after the in-flight event
@@ -138,11 +199,13 @@ func (e *Engine) Halt() { e.halted = true }
 
 // Step executes the single earliest event. It reports false when the
 // queue is empty.
+//
+//starnuma:hotpath
 func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	it := heap.Pop(&e.queue).(scheduled)
+	it := e.queue.pop()
 	e.now = it.at
 	e.fired++
 	if e.met != nil {
@@ -153,6 +216,8 @@ func (e *Engine) Step() bool {
 }
 
 // Run executes events until the queue is empty or Halt is called.
+//
+//starnuma:hotpath
 func (e *Engine) Run() {
 	e.halted = false
 	for !e.halted && e.Step() {
@@ -162,6 +227,8 @@ func (e *Engine) Run() {
 // RunUntil executes events with timestamps <= deadline. Events scheduled
 // beyond the deadline remain queued; the clock is advanced to deadline if
 // the queue drains or only later events remain.
+//
+//starnuma:hotpath
 func (e *Engine) RunUntil(deadline Time) {
 	e.halted = false
 	for !e.halted {

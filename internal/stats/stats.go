@@ -138,6 +138,8 @@ func (a *AMAT) SetUnloadedLatencies(lat [NumAccessTypes]sim.Time) {
 }
 
 // Observe records one completed access.
+//
+//starnuma:hotpath one call per timed memory access
 func (a *AMAT) Observe(t AccessType, latency sim.Time) {
 	a.sumLatency += latency
 	a.count++
@@ -261,4 +263,28 @@ func Mean(vs []float64) float64 {
 		return 0
 	}
 	return sum / float64(n)
+}
+
+// SameFloat reports whether a and b are the same floating-point value,
+// bit for bit: NaN matches NaN, and +0 is distinguished from -0. This
+// is the sanctioned equality for determinism checks (the floatdet
+// analyzer forbids raw == on floats in simulation packages), because it
+// asks the question those checks mean: "did the computation produce the
+// identical bits?"
+func SameFloat(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// ApproxEqual reports whether a and b differ by at most tol. NaN is
+// approximately equal to nothing, including itself; use SameFloat for
+// bit identity.
+func ApproxEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+// IsZero reports whether v is exactly zero (of either sign), the
+// sanctioned guard before division.
+func IsZero(v float64) bool {
+	//starnumavet:allow floatdet this helper is the sanctioned zero test the analyzer points at
+	return v == 0
 }

@@ -174,6 +174,8 @@ func NewSystem(cores int, cfg Config) *System {
 // Access runs core's translation of page. It returns whether the access
 // missed the TLB and, if so, whether the walk was forced by a shootdown
 // (the only case the timing model charges).
+//
+//starnuma:hotpath one call per memory access (step C)
 func (s *System) Access(core int, page uint32) (walk, shootdownInduced bool) {
 	if s.tlbs[core].lookup(page) {
 		s.stats.Hits++
@@ -227,6 +229,8 @@ func (s *System) Sharers(page uint32) int {
 // Shootdown invalidates page's translation everywhere it is cached,
 // using the shared directory to target only the caching cores. It
 // returns how many cores were notified.
+//
+//starnuma:hotpath one call per migration-invalidated page
 func (s *System) Shootdown(page uint32) int {
 	s.stats.Shootdowns++
 	set, ok := s.dir[page]

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"starnuma/internal/stats"
 )
 
 // Generator produces deterministic per-core LLC-miss streams for one
@@ -238,7 +240,7 @@ func (g *Generator) buildClassWeights() {
 		classPages[ci] = float64(g.classEnd[ci] - g.classStart[ci])
 	}
 	shareOf := func(ci, s int) float64 {
-		if classPages[ci] == 0 {
+		if stats.IsZero(classPages[ci]) {
 			return 0
 		}
 		var sum float64
