@@ -16,6 +16,11 @@
 //	starnuma scenario validate scenarios/
 //	starnuma scenario list scenarios/
 //
+// Migration policies come from internal/migrate's registry; select one
+// with -policy (name, or name:{json-params}) and enumerate them with:
+//
+//	starnuma policy list
+//
 // Experiment identifiers follow the paper's figure/table numbers; see
 // DESIGN.md §5 for the index.
 package main
@@ -32,6 +37,9 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "scenario" {
 		os.Exit(scenarioMain(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "policy" {
+		os.Exit(policyMain(os.Args[2:]))
 	}
 	var (
 		expID  = flag.String("exp", "", "experiment to run (e.g. fig8a, tab4); see -list")

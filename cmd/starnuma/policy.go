@@ -1,0 +1,34 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"starnuma/internal/migrate"
+)
+
+const policyUsage = `usage: starnuma policy list
+
+Commands:
+  list  list registered migration policies and their parameters
+
+Select a policy for a run with -policy name or -policy 'name:{json-params}',
+e.g. -policy 'starnuma:{"hi_start":64}'.
+`
+
+// policyMain implements the `starnuma policy` subcommands over the
+// migrate registry — the same source of truth -policy validation, the
+// scenario DSL and the policysweep tournament use.
+func policyMain(args []string) int {
+	if len(args) == 0 || args[0] != "list" {
+		fmt.Fprint(os.Stderr, policyUsage)
+		return exitUsage
+	}
+	for _, d := range migrate.Policies() {
+		fmt.Printf("%-18s %s\n", d.Name, d.Doc)
+		for _, p := range d.Params {
+			fmt.Printf("    %-24s %s (default %g)\n", p.Name, p.Doc, p.Default)
+		}
+	}
+	return exitOK
+}

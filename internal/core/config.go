@@ -11,6 +11,10 @@
 package core
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 
 	"starnuma/internal/fault"
@@ -23,31 +27,124 @@ import (
 	"starnuma/internal/tracker"
 )
 
-// PolicyKind selects the step-B migration policy.
-type PolicyKind int
+// PolicySpec selects the step-B migration policy by registry name
+// (internal/migrate's policy registry) plus optional parameter
+// overrides. It replaces the closed PolicyKind enum: any registered
+// policy is selectable by name, and its descriptor-declared parameters
+// are overridable per run. The zero value selects the default StarNUMA
+// policy.
+type PolicySpec struct {
+	// Name is the registry name ("starnuma", "oracle", ...); empty means
+	// "starnuma".
+	Name string
+	// Params overrides descriptor-declared parameters by name.
+	Params migrate.Params
+}
 
-const (
+// Legacy policy selectors, preserved as values so existing call sites
+// (and their meaning) are unchanged by the registry redesign.
+var (
 	// PolicyStarNUMA runs Algorithm 1 over the region tracker.
-	PolicyStarNUMA PolicyKind = iota
+	PolicyStarNUMA = PolicySpec{Name: "starnuma"}
 	// PolicyPerfectBaseline runs the paper's favoured baseline: zero-cost
 	// perfect per-page knowledge, migrations between sockets only.
-	PolicyPerfectBaseline
+	PolicyPerfectBaseline = PolicySpec{Name: "baseline-perfect"}
 	// PolicyNone performs no dynamic migration (static placement
 	// studies).
-	PolicyNone
+	PolicyNone = PolicySpec{Name: "none"}
 )
 
-// String names the policy kind.
-func (p PolicyKind) String() string {
-	switch p {
-	case PolicyStarNUMA:
+// CanonicalName resolves the empty name to the default policy.
+func (p PolicySpec) CanonicalName() string {
+	if p.Name == "" {
 		return "starnuma"
-	case PolicyPerfectBaseline:
-		return "baseline-perfect"
-	case PolicyNone:
-		return "none"
+	}
+	return p.Name
+}
+
+// String names the policy (reports, manifests).
+func (p PolicySpec) String() string { return p.CanonicalName() }
+
+// Is reports whether the spec selects the named policy.
+func (p PolicySpec) Is(name string) bool { return p.CanonicalName() == name }
+
+// Tag returns a short identity string for variant/memo naming: the
+// canonical name, suffixed with a content hash of the parameter
+// overrides when present.
+func (p PolicySpec) Tag() string {
+	if len(p.Params) == 0 {
+		return p.CanonicalName()
+	}
+	b, _ := json.Marshal(p.Params) // map[string]float64 cannot fail
+	sum := sha256.Sum256(b)
+	return p.CanonicalName() + "-" + hex.EncodeToString(sum[:])[:8]
+}
+
+// legacyPolicyCodes maps the retired PolicyKind enum's integer JSON
+// values to registry names. The three legacy policies still marshal as
+// these integers so pre-redesign SimConfig JSON — and therefore every
+// content-hashed result-cache key — stays byte-identical.
+var legacyPolicyCodes = [...]string{"starnuma", "baseline-perfect", "none"}
+
+// MarshalJSON emits the legacy integer for the three original policies
+// (parameterless), the bare name string for other parameterless
+// policies, and a {"name", "params"} object otherwise. It encodes the
+// raw name — not the canonical one — so decode(encode(p)) == p for
+// every value UnmarshalJSON can produce, including the zero spec (the
+// result cache's fuzz round-trip contract).
+func (p PolicySpec) MarshalJSON() ([]byte, error) {
+	if len(p.Params) == 0 {
+		for code, legacy := range legacyPolicyCodes {
+			if p.Name == legacy {
+				return json.Marshal(code)
+			}
+		}
+		return json.Marshal(p.Name)
+	}
+	return json.Marshal(struct {
+		Name   string         `json:"name"`
+		Params migrate.Params `json:"params,omitempty"`
+	}{p.Name, p.Params})
+}
+
+// UnmarshalJSON accepts all three forms MarshalJSON emits, so legacy
+// PolicyKind integers keep decoding.
+func (p *PolicySpec) UnmarshalJSON(b []byte) error {
+	t := bytes.TrimSpace(b)
+	if len(t) == 0 {
+		return fmt.Errorf("core: empty policy")
+	}
+	switch t[0] {
+	case '"':
+		var name string
+		if err := json.Unmarshal(t, &name); err != nil {
+			return fmt.Errorf("core: policy: %w", err)
+		}
+		*p = PolicySpec{Name: name}
+		return nil
+	case '{':
+		var obj struct {
+			Name   string         `json:"name"`
+			Params migrate.Params `json:"params"`
+		}
+		if err := json.Unmarshal(t, &obj); err != nil {
+			return fmt.Errorf("core: policy: %w", err)
+		}
+		if len(obj.Params) == 0 {
+			obj.Params = nil // normalize so re-encoding round-trips
+		}
+		*p = PolicySpec{Name: obj.Name, Params: obj.Params}
+		return nil
 	default:
-		return fmt.Sprintf("PolicyKind(%d)", int(p))
+		var code int
+		if err := json.Unmarshal(t, &code); err != nil {
+			return fmt.Errorf("core: policy: %w", err)
+		}
+		if code < 0 || code >= len(legacyPolicyCodes) {
+			return fmt.Errorf("core: unknown legacy policy code %d", code)
+		}
+		*p = PolicySpec{Name: legacyPolicyCodes[code]}
+		return nil
 	}
 }
 
@@ -168,8 +265,11 @@ type SimConfig struct {
 	RegionPages int
 	// Tracker selects T16 or T0.
 	Tracker tracker.Kind
-	// Policy selects the migration policy.
-	Policy PolicyKind
+	// Policy selects the migration policy from internal/migrate's
+	// registry, by name plus optional parameter overrides. Content-hashed
+	// into the runner's cache key (legacy policies keep their original
+	// integer encoding, so old keys stay valid).
+	Policy PolicySpec
 	// Migration parameterises Algorithm 1.
 	Migration migrate.Config
 	// BaselineMigrationLimit caps the perfect baseline's moves per phase.
@@ -300,6 +400,9 @@ func (c SimConfig) Validate() error {
 	}
 	if c.RegionPages <= 0 {
 		return fmt.Errorf("core: region pages %d", c.RegionPages)
+	}
+	if err := migrate.CheckParams(c.Policy.CanonicalName(), c.Policy.Params); err != nil {
+		return fmt.Errorf("core: policy: %w", err)
 	}
 	if c.MigrationCostCycles < 0 {
 		return fmt.Errorf("core: negative migration cost")

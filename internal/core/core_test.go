@@ -31,12 +31,23 @@ func tinySpec(t *testing.T, name string) workload.Spec {
 	return spec
 }
 
-func TestPolicyKindString(t *testing.T) {
+func TestPolicySpecString(t *testing.T) {
 	if PolicyStarNUMA.String() != "starnuma" ||
 		PolicyPerfectBaseline.String() != "baseline-perfect" ||
 		PolicyNone.String() != "none" ||
-		PolicyKind(9).String() != "PolicyKind(9)" {
-		t.Fatal("PolicyKind.String wrong")
+		(PolicySpec{}).String() != "starnuma" {
+		t.Fatal("PolicySpec.String wrong")
+	}
+	if (PolicySpec{Name: "oracle"}).Tag() != "oracle" {
+		t.Fatal("parameterless Tag should be the bare name")
+	}
+	withParams := PolicySpec{Name: "oracle", Params: migrate.Params{"pool_sharer_threshold": 4}}
+	tag := withParams.Tag()
+	if len(tag) != len("oracle")+1+8 || tag[:7] != "oracle-" {
+		t.Fatalf("parameterised Tag = %q, want oracle-<8 hex>", tag)
+	}
+	if tag != withParams.Tag() {
+		t.Fatal("Tag must be deterministic")
 	}
 }
 

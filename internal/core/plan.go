@@ -47,6 +47,11 @@ func NewPlan(sys SystemConfig, cfg SimConfig, gen AccessSource) (*Plan, error) {
 	if cfg.StaticOracle {
 		applyStaticOracle(tr, sys, gen, int64(spec.Seed))
 	}
+	if tr.ReplModel != nil {
+		// The policy selected the replica set; carry its timing model
+		// (write penalty) into the step-C windows.
+		cfg.Replication = *tr.ReplModel
+	}
 	return &Plan{sys: sys, cfg: cfg, spec: spec, tr: tr}, nil
 }
 

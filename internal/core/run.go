@@ -19,7 +19,7 @@ import (
 // III/IV.
 type Result struct {
 	Workload string
-	Policy   PolicyKind
+	Policy   PolicySpec
 	Tracker  string
 
 	// IPC is the mean per-core post-warmup IPC across checkpoints.

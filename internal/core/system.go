@@ -11,6 +11,7 @@ import (
 	"starnuma/internal/link"
 	"starnuma/internal/memdev"
 	"starnuma/internal/metrics"
+	"starnuma/internal/migrate"
 	"starnuma/internal/sim"
 	"starnuma/internal/stats"
 	"starnuma/internal/tlb"
@@ -133,6 +134,18 @@ type timingSystem struct {
 	w windowStats
 }
 
+// policyChargesTracker reports whether the configured policy reads the
+// hardware access tracker, and therefore whether the timing windows must
+// charge annex flush traffic for its metadata. The registry descriptor
+// declares it; static placement (oracle) never consults the tracker.
+func policyChargesTracker(cfg SimConfig) bool {
+	if cfg.StaticOracle {
+		return false
+	}
+	d, ok := migrate.LookupPolicy(cfg.Policy.CanonicalName())
+	return ok && d.UsesTracker
+}
+
 // newTimingSystem builds a fresh system for one checkpoint window.
 //
 //starnuma:coldpath once-per-window construction; allocation here is the point
@@ -150,7 +163,7 @@ func newTimingSystem(sys SystemConfig, cfg SimConfig, gen AccessSource,
 		cyclePS:       sys.CyclePS(),
 		mlp:           gen.Spec().MLP,
 		annexCount:    make([]uint64, topo.Sockets()),
-		chargeTracker: cfg.Policy == PolicyStarNUMA && !cfg.StaticOracle,
+		chargeTracker: policyChargesTracker(cfg),
 	}
 	if cfg.CollectMetrics {
 		ts.met = metrics.New()

@@ -25,9 +25,13 @@ type Checkpoint struct {
 // TraceResult bundles step B's outputs.
 type TraceResult struct {
 	Checkpoints []Checkpoint
-	// Replicated marks the pages selected for replication (§V-F study);
-	// nil unless the replication study is enabled.
+	// Replicated marks the pages selected for replication — by the §V-F
+	// study flag or by a replicating policy; nil when neither applies.
 	Replicated []bool
+	// ReplModel is the effective replication timing model when the policy
+	// (rather than the study flag) selected the replica set; Plan threads
+	// it into the step-C configuration. nil otherwise.
+	ReplModel *migrate.ReplicationConfig
 	// FinalHome is the placement after the last phase's decisions.
 	FinalHome []topology.NodeID
 	// Totals aggregates whole-run per-page access counts (oracle input,
@@ -122,21 +126,40 @@ func TraceSimulate(sys SystemConfig, cfg SimConfig, gen AccessSource) (*TraceRes
 		st.PoolCapacityPages = sys.Pool.CapacityPages(pages)
 	}
 
-	var policy migrate.Policy
-	switch cfg.Policy {
-	case PolicyStarNUMA:
-		// Auto-scale zero thresholds from the workload's expected access
-		// rate: mean region accesses per phase.
-		spec := gen.Spec()
-		phaseAccesses := float64(gen.NumCores()) * float64(cfg.PhaseInstr) * spec.MPKI / 1000
-		mcfg := cfg.Migration.AutoScale(phaseAccesses / float64(tbl.NumRegions()))
-		policy = migrate.NewStarNUMA(mcfg)
-	case PolicyPerfectBaseline:
-		policy = migrate.NewPerfectBaseline(cfg.BaselineMigrationLimit)
-	case PolicyNone:
-		policy = migrate.NoMigration{}
-	default:
-		return nil, fmt.Errorf("core: unknown policy %v", cfg.Policy)
+	sched := fault.NewSchedule(cfg.Faults)
+	spec := gen.Spec()
+	// The workload's expected access rate: mean region accesses per
+	// phase, Config.AutoScale's input for zero-threshold configs.
+	phaseAccesses := float64(gen.NumCores()) * float64(cfg.PhaseInstr) * spec.MPKI / 1000
+
+	// The policy observes the world through its environment: static
+	// system shape, the previous phase's placement feedback, and the
+	// fault schedule's link-health outlook.
+	var lastFB migrate.PhaseFeedback
+	env := migrate.PolicyEnv{
+		Sockets:                    sockets,
+		HasPool:                    topo.HasPool(),
+		PoolNode:                   topo.PoolNode(),
+		PoolCapacityPages:          st.PoolCapacityPages,
+		Pages:                      pages,
+		NumRegions:                 tbl.NumRegions(),
+		RegionPages:                tbl.RegionPages(),
+		TrackerKind:                tbl.Kind(),
+		MeanRegionAccessesPerPhase: phaseAccesses / float64(tbl.NumRegions()),
+		Seed:                       cfg.Migration.Seed,
+		WorkloadSeed:               int64(spec.Seed),
+		BaseMigration:              cfg.Migration,
+		BaselineMigrationLimit:     cfg.BaselineMigrationLimit,
+		Replication:                cfg.Replication,
+		Link: func(phase int) migrate.LinkHealth {
+			return linkHealth(sched, sys, topo, phase)
+		},
+		Feedback: func() migrate.PhaseFeedback { return lastFB },
+	}
+	policyName := cfg.Policy.CanonicalName()
+	policy, err := migrate.NewPolicy(policyName, cfg.Policy.Params, env)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	if cfg.StaticOracle {
 		policy = migrate.NoMigration{}
@@ -151,7 +174,6 @@ func TraceSimulate(sys SystemConfig, cfg SimConfig, gen AccessSource) (*TraceRes
 		res.Trace = evtrace.NewBuffer()
 		st.Trace = res.Trace
 	}
-	sched := fault.NewSchedule(cfg.Faults)
 
 	// Checkpoint 0: nothing placed yet, no in-flight migrations; pages
 	// are first-touched during the phase itself.
@@ -182,6 +204,11 @@ func TraceSimulate(sys SystemConfig, cfg SimConfig, gen AccessSource) (*TraceRes
 			}
 		})
 		counts.AddInto(totals)
+		lastFB = migrate.ComputeFeedback(phase, counts, home, topo.HasPool(), topo.PoolNode())
+		if reg != nil {
+			reg.Point("migrate/policy/"+policyName+"/remote_frac", int64(phase), lastFB.RemoteFrac)
+			reg.Point("migrate/policy/"+policyName+"/pool_frac", int64(phase), lastFB.PoolFrac)
+		}
 		if res.Trace != nil {
 			// One span per trace phase on the phase-index clock: tick
 			// `phase` to tick `phase+1` (a Dur of 1 tick).
@@ -219,7 +246,7 @@ func TraceSimulate(sys SystemConfig, cfg SimConfig, gen AccessSource) (*TraceRes
 				reg.Point("fault/drained_pages", int64(phase), float64(len(drained)))
 			}
 		}
-		before := policyStats(policy)
+		before := policy.Stats()
 		pending := policy.Decide(phase, st)
 		if len(drained) > 0 {
 			// Drains go first so the timing window models the drain
@@ -227,16 +254,17 @@ func TraceSimulate(sys SystemConfig, cfg SimConfig, gen AccessSource) (*TraceRes
 			pending = append(drained, pending...)
 		}
 		if res.Trace != nil {
-			after := policyStats(policy)
+			after := policy.Stats()
 			res.Trace.InstantArgs("migrate", "decide", "stepB/decide", sim.Time(phase+1),
 				evtrace.Arg{Key: "migrations", Val: strconv.Itoa(len(pending))},
 				evtrace.Arg{Key: "drained", Val: strconv.Itoa(len(drained))},
 				evtrace.Arg{Key: "pingpong_skips", Val: strconv.FormatUint(after.PingPongSkips-before.PingPongSkips, 10)})
 		}
 		if reg != nil {
-			after := policyStats(policy)
+			after := policy.Stats()
 			t := int64(phase)
 			reg.Point("migrate/migrations", t, float64(len(pending)))
+			reg.Point("migrate/policy/"+policyName+"/migrations", t, float64(len(pending)))
 			reg.Point("migrate/pingpong_skips", t, float64(after.PingPongSkips-before.PingPongSkips))
 			reg.Point("migrate/evictions", t, float64(after.Evictions-before.Evictions))
 			if topo.HasPool() {
@@ -256,18 +284,51 @@ func TraceSimulate(sys SystemConfig, cfg SimConfig, gen AccessSource) (*TraceRes
 		})
 	}
 
+	res.FinalHome = home
+	// A post-placing policy (the zero-cost oracle) replaces every
+	// checkpoint's placement with its whole-run computation and drops the
+	// dynamic migrations — §V-B's static placement studies as a policy.
+	if pp, ok := policy.(migrate.PostPlacer); ok && !cfg.StaticOracle {
+		placement := pp.PostPlace(totals)
+		for i := range res.Checkpoints {
+			res.Checkpoints[i].PageHome = placement
+			res.Checkpoints[i].Migrations = nil
+		}
+		res.FinalHome = placement
+	}
 	if cfg.Replication.Enable {
 		res.Replicated = migrate.ReplicationSet(totals, cfg.Replication)
+	} else if rp, ok := policy.(migrate.Replicator); ok {
+		// A replicating policy selected its own replica set during the
+		// run; its timing model rides along for step C.
+		if set := rp.ReplicatedSet(); set != nil {
+			res.Replicated = set
+			model := rp.ReplicationModel()
+			res.ReplModel = &model
+		}
 	}
-	res.FinalHome = home
 	res.TrackerFlushes = tbl.Flushes()
-	res.MigrStats = policyStats(policy)
+	res.MigrStats = policy.Stats()
 	if reg != nil {
 		reg.Add("tracker/flushes", res.TrackerFlushes)
 		reg.Add("migrate/pages_to_pool", res.MigrStats.PagesToPool)
 		reg.Add("migrate/pages_to_socket", res.MigrStats.PagesToSocket)
 		reg.Add("migrate/pingpong_skips", res.MigrStats.PingPongSkips)
 		reg.Add("migrate/evictions", res.MigrStats.Evictions)
+		reg.Add("migrate/policy/"+policyName+"/pages_to_pool", res.MigrStats.PagesToPool)
+		reg.Add("migrate/policy/"+policyName+"/pages_to_socket", res.MigrStats.PagesToSocket)
+		reg.Add("migrate/policy/"+policyName+"/evictions", res.MigrStats.Evictions)
+		reg.Add("migrate/policy/"+policyName+"/pingpong_skips", res.MigrStats.PingPongSkips)
+		reg.Add("migrate/policy/"+policyName+"/link_backoff_phases", res.MigrStats.LinkBackoffPhases)
+		if res.Replicated != nil {
+			n := uint64(0)
+			for _, r := range res.Replicated {
+				if r {
+					n++
+				}
+			}
+			reg.Add("migrate/policy/"+policyName+"/replicated_pages", n)
+		}
 		if sched != nil {
 			reg.Add("fault/drained_pages", res.DrainedPages)
 		}
@@ -276,16 +337,27 @@ func TraceSimulate(sys SystemConfig, cfg SimConfig, gen AccessSource) (*TraceRes
 	return res, nil
 }
 
-// policyStats extracts the migration policy's running counters; the
-// zero Stats for policies that keep none.
-func policyStats(p migrate.Policy) migrate.Stats {
-	switch p := p.(type) {
-	case *migrate.StarNUMA:
-		return p.Stats()
-	case *migrate.PerfectBaseline:
-		return p.Stats()
+// linkHealth summarises the fault outlook for the policy-relevant link
+// class during one phase — the pool's CXL path when a pool exists, the
+// socket interconnect otherwise. This is the PolicyEnv.Link signal
+// bandwidth-aware policies consult before committing pool placements.
+func linkHealth(sched *fault.Schedule, sys SystemConfig, topo *topology.Topology, phase int) migrate.LinkHealth {
+	kind := topology.KindUPI
+	if topo.HasPool() {
+		kind = topology.KindCXL
 	}
-	return migrate.Stats{}
+	o := sched.Outlook(kind.String(), phase)
+	h := migrate.LinkHealth{
+		LatencyX:     o.LatencyX,
+		BandwidthDiv: o.BandwidthDiv,
+		DownFrac:     o.DownFrac,
+	}
+	if topo.HasPool() {
+		ps := sched.Pool(phase, sys.Pool.Channels)
+		h.PoolDead = ps.Dead
+		h.PoolCapacityFrac = ps.CapacityFrac
+	}
+	return h
 }
 
 // checkpointMapWithStatic replaces every checkpoint's page map with the

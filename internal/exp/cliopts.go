@@ -1,13 +1,16 @@
 package exp
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
+	"starnuma/internal/core"
 	"starnuma/internal/fault"
+	"starnuma/internal/migrate"
 	"starnuma/internal/runner"
 )
 
@@ -30,6 +33,10 @@ type CLIFlags struct {
 	// Faults is a fault-plan JSON file; non-empty loads it into
 	// core.SimConfig.Faults so every experiment runs under the plan.
 	Faults string
+	// Policy selects the StarNUMA-side migration policy by registry name,
+	// optionally with parameter overrides: "name" or "name:{json-params}"
+	// (e.g. `starnuma:{"hi_start":64}`). Empty keeps the default.
+	Policy string
 	// Trace is the event-trace output path; non-empty enables
 	// core.SimConfig.Trace, records the wall-clock runner lane, and
 	// disables the result cache (cache hits produce no events).
@@ -51,6 +58,7 @@ func AddCLIFlags(fs *flag.FlagSet, progressDefault bool) *CLIFlags {
 	fs.BoolVar(&f.Progress, "progress", progressDefault, "report job progress on stderr")
 	fs.StringVar(&f.Metrics, "metrics", "", "collect instrumentation and write a run manifest to this JSON file")
 	fs.StringVar(&f.Faults, "faults", "", "run under the fault-injection plan in this JSON file (internal/fault)")
+	fs.StringVar(&f.Policy, "policy", "", `migration policy as "name" or "name:{json-params}" (see: starnuma policy list)`)
 	fs.StringVar(&f.Trace, "trace", "", "record an event trace (Perfetto/chrome://tracing JSON) to this file; disables the result cache")
 	return f
 }
@@ -105,5 +113,30 @@ func (f *CLIFlags) Options(progressW io.Writer) (Options, error) {
 		}
 		opts.Sim.Faults = plan
 	}
+	if f.Policy != "" {
+		spec, err := ParsePolicyArg(f.Policy)
+		if err != nil {
+			return Options{}, err
+		}
+		opts.Sim.Policy = spec
+	}
 	return opts, nil
+}
+
+// ParsePolicyArg parses a -policy value: a registry name, optionally
+// followed by ":" and a JSON object of parameter overrides. The name and
+// parameter keys are validated against the migrate registry, so typos
+// fail here with the accepted spellings rather than deep inside a run.
+func ParsePolicyArg(arg string) (core.PolicySpec, error) {
+	name, rest, hasParams := strings.Cut(arg, ":")
+	spec := core.PolicySpec{Name: name}
+	if hasParams {
+		if err := json.Unmarshal([]byte(rest), &spec.Params); err != nil {
+			return core.PolicySpec{}, fmt.Errorf("exp: -policy %s: params: %w", name, err)
+		}
+	}
+	if err := migrate.CheckParams(spec.CanonicalName(), spec.Params); err != nil {
+		return core.PolicySpec{}, fmt.Errorf("exp: -policy: %w", err)
+	}
+	return spec, nil
 }

@@ -247,10 +247,19 @@ func (r *Runner) baselineVariant() variant {
 }
 
 // starnumaVariant is the default StarNUMA configuration (T16 tracker).
+// A non-default Options.Sim.Policy (the -policy flag) is respected and
+// suffixed into the variant name, so the memo key still uniquely
+// identifies the configuration; the default keeps the historical name
+// and therefore the historical cache keys.
 func (r *Runner) starnumaVariant() variant {
 	cfg := r.opts.Sim
-	cfg.Policy = core.PolicyStarNUMA
-	return variant{"starnuma-t16", core.StarNUMASystem(), cfg}
+	name := "starnuma-t16"
+	if tag := cfg.Policy.Tag(); tag != "starnuma" {
+		name += "@" + tag
+	} else {
+		cfg.Policy = core.PolicyStarNUMA
+	}
+	return variant{name, core.StarNUMASystem(), cfg}
 }
 
 // baseline runs the paper's favoured baseline for one workload.

@@ -168,7 +168,7 @@ func TestByIDAndIDs(t *testing.T) {
 		t.Fatal("unknown experiment accepted")
 	}
 	ids := IDs()
-	if len(ids) != 19 {
+	if len(ids) != 20 {
 		t.Fatalf("IDs = %v", ids)
 	}
 	seen := map[string]bool{}

@@ -62,6 +62,8 @@ var registry = []Experiment{
 		Run: (*Runner).ExtDrift},
 	{ID: "faultsweep", Aliases: []string{"faults"}, Title: "Degraded-mode sweep under CXL fabric fault plans", PaperRef: "§VI RAS extension",
 		Run: (*Runner).FaultSweep},
+	{ID: "policysweep", Aliases: []string{"tournament"}, Title: "Migration-policy tournament across workloads and fault plans", PaperRef: "§V-B/§VI extension",
+		Run: (*Runner).PolicySweep},
 }
 
 // Experiments returns the registered experiments in paper order. The

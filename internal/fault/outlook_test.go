@@ -1,0 +1,78 @@
+package fault
+
+import "testing"
+
+func TestOutlookNilSchedule(t *testing.T) {
+	var s *Schedule
+	o := s.Outlook("CXL", 3)
+	if o.Degraded() {
+		t.Fatalf("nil schedule reports degradation: %+v", o)
+	}
+	if o.LatencyX != 1 || o.BandwidthDiv != 1 || o.DownFrac != 0 {
+		t.Fatalf("nil outlook not nominal: %+v", o)
+	}
+}
+
+func TestOutlookDegrade(t *testing.T) {
+	s := NewSchedule(DegradePlan(4))
+	if o := s.Outlook("CXL", 0); o.Degraded() {
+		t.Fatalf("degrade active before from_phase: %+v", o)
+	}
+	o := s.Outlook("CXL", 1)
+	if o.LatencyX != 4 || o.BandwidthDiv != 4 {
+		t.Fatalf("phase 1 outlook = %+v, want 4x/4x", o)
+	}
+	if !o.Degraded() {
+		t.Fatal("Degraded() false under 4x degrade")
+	}
+	// The plan targets "cxl": UPI must see a healthy outlook, but a
+	// class-wide "link" event would match any kind (covered below).
+	if o := s.Outlook("UPI", 1); o.Degraded() {
+		t.Fatalf("cxl degrade leaked onto UPI: %+v", o)
+	}
+}
+
+func TestOutlookFlapDownFrac(t *testing.T) {
+	s := NewSchedule(FlapPlan()) // period 2000ns, down 300ns, from phase 1
+	o := s.Outlook("CXL", 1)
+	if want := 300.0 / 2000; o.DownFrac != want {
+		t.Fatalf("DownFrac = %v, want %v", o.DownFrac, want)
+	}
+	if o.LatencyX != 1 || o.BandwidthDiv != 1 {
+		t.Fatalf("flap must not report degrade factors: %+v", o)
+	}
+}
+
+func TestOutlookIgnoresKills(t *testing.T) {
+	// Kill events are device faults, not link-health signals: the pool
+	// state (Schedule.Pool) carries them, the outlook stays nominal.
+	s := NewSchedule(DeadPoolPlan())
+	if o := s.Outlook("CXL", 3); o.Degraded() {
+		t.Fatalf("kill event leaked into the outlook: %+v", o)
+	}
+	if ps := s.Pool(3, 8); !ps.Dead {
+		t.Fatal("pool not dead despite kill plan")
+	}
+}
+
+func TestOutlookLinkClassMatchesEverything(t *testing.T) {
+	s := NewSchedule(&Plan{Name: "any-link", Events: []Event{{
+		Kind: Degrade, Target: "link", FromPhase: 0, LatencyX: 2,
+	}}})
+	for _, kind := range []string{"CXL", "UPI", "NUMAlink"} {
+		if o := s.Outlook(kind, 0); o.LatencyX != 2 {
+			t.Errorf("class-wide link event missed kind %s: %+v", kind, o)
+		}
+	}
+}
+
+func TestOutlookWorstOfOverlapping(t *testing.T) {
+	s := NewSchedule(&Plan{Name: "stacked", Events: []Event{
+		{Kind: Degrade, Target: "cxl:s0", FromPhase: 0, LatencyX: 2},
+		{Kind: Degrade, Target: "cxl:s1", FromPhase: 0, LatencyX: 3, BandwidthDiv: 1.5},
+	}})
+	o := s.Outlook("CXL", 0)
+	if o.LatencyX != 3 || o.BandwidthDiv != 1.5 {
+		t.Fatalf("outlook should take the worst across events: %+v", o)
+	}
+}

@@ -207,6 +207,61 @@ func (s *Schedule) Pool(phase, channels int) PoolState {
 	return ps
 }
 
+// Outlook summarises the health of one link class during one phase's
+// timing window — the phase-granular signal bandwidth-aware migration
+// policies consult before committing pool placements. It is a
+// conservative class-wide summary: the worst active degradation across
+// every event targeting the class, regardless of endpoint.
+type Outlook struct {
+	// LatencyX is the worst active latency multiplier (1 = nominal).
+	LatencyX float64
+	// BandwidthDiv is the worst active bandwidth divisor (1 = nominal).
+	BandwidthDiv float64
+	// DownFrac is the largest fraction of the window a flap event keeps
+	// the link down, in [0, 1).
+	DownFrac float64
+}
+
+// Degraded reports whether any fault touches the class this phase.
+func (o Outlook) Degraded() bool {
+	return o.LatencyX > 1 || o.BandwidthDiv > 1 || o.DownFrac > 0
+}
+
+// Outlook returns the health summary for a link class ("CXL", "UPI",
+// "NUMAlink") during the given phase. Nil-safe: a nil schedule reports a
+// healthy link.
+func (s *Schedule) Outlook(kind string, phase int) Outlook {
+	o := Outlook{LatencyX: 1, BandwidthDiv: 1}
+	if s == nil {
+		return o
+	}
+	for i := range s.events {
+		ce := &s.events[i]
+		if ce.kind == Kill || !ce.activePhase(phase) {
+			continue
+		}
+		if ce.class != "link" && !strings.EqualFold(ce.class, kind) {
+			continue
+		}
+		switch ce.kind {
+		case Degrade:
+			if ce.latX > o.LatencyX {
+				o.LatencyX = ce.latX
+			}
+			if ce.bwDiv > o.BandwidthDiv {
+				o.BandwidthDiv = ce.bwDiv
+			}
+		case Flap:
+			if ce.period > 0 {
+				if f := float64(ce.down) / float64(ce.period); f > o.DownFrac {
+					o.DownFrac = f
+				}
+			}
+		}
+	}
+	return o
+}
+
 // InjectorStats counts what an Injector did to its link's traffic.
 type InjectorStats struct {
 	// DegradedSends counts sends served with degraded latency/bandwidth.

@@ -85,6 +85,9 @@ func (NoMigration) Name() string { return "static" }
 // Decide implements Policy.
 func (NoMigration) Decide(int, *State) []Migration { return nil }
 
+// Stats implements Policy.
+func (NoMigration) Stats() Stats { return Stats{} }
+
 // StaticOracleConfig controls oracular static placement (§V-B).
 type StaticOracleConfig struct {
 	Sockets int

@@ -26,6 +26,9 @@ func NewPageCounts(pages, sockets int) *PageCounts {
 // Pages returns the page count.
 func (c *PageCounts) Pages() int { return len(c.counts) / c.sockets }
 
+// Sockets returns the socket count.
+func (c *PageCounts) Sockets() int { return c.sockets }
+
 // Record notes one access by socket to page.
 //
 //starnuma:hotpath one call per tracked access (step B)

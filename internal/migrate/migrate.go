@@ -72,6 +72,9 @@ type Policy interface {
 	Decide(phase int, st *State) []Migration
 	// Name identifies the policy in reports.
 	Name() string
+	// Stats returns the policy's lifetime decision counters (the zero
+	// Stats for policies that keep none).
+	Stats() Stats
 }
 
 // Stats counts a policy's lifetime decisions; used for Table IV.
@@ -81,6 +84,9 @@ type Stats struct {
 	Evictions     uint64 // pages evicted from the pool to make room
 	PingPongSkips uint64
 	EvictFailures uint64 // pool-bound migrations dropped: no victim found
+	// LinkBackoffPhases counts phases a bandwidth-aware policy suspended
+	// pool placement under link saturation.
+	LinkBackoffPhases uint64
 }
 
 // PoolFraction is the fraction of migrated pages that went to the pool
@@ -217,6 +223,23 @@ func (p *StarNUMA) Stats() Stats { return p.stats }
 // Thresholds returns the current dynamic HI/LO thresholds (for tests and
 // diagnostics).
 func (p *StarNUMA) Thresholds() (hi, lo uint32) { return p.hi, p.lo }
+
+// scaleHi multiplies the dynamic HI threshold by f, clamped to the
+// configured [HiMin, HiMax] band — the hook outer feedback controllers
+// (EpochAdaptive) steer through.
+func (p *StarNUMA) scaleHi(f float64) {
+	hi := uint32(float64(p.hi)*f + 0.5)
+	if hi < p.cfg.HiMin {
+		hi = p.cfg.HiMin
+	}
+	if hi > p.cfg.HiMax {
+		hi = p.cfg.HiMax
+	}
+	if hi < 1 {
+		hi = 1
+	}
+	p.hi = hi
+}
 
 // regionLocation derives each region's location as the majority home of
 // its pages. After first-touch or previous migrations, pages of a region

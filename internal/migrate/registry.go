@@ -1,0 +1,164 @@
+package migrate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Params is a policy's parameter overrides, keyed by the names its
+// descriptor declares. Values are float64 across the board — thresholds,
+// limits, fractions and booleans (0/non-0) all fit — which keeps the
+// JSON form trivial and the content-hash encoding deterministic
+// (encoding/json sorts map keys).
+type Params map[string]float64
+
+// Get returns the named parameter, or def when absent.
+func (p Params) Get(name string, def float64) float64 {
+	if v, ok := p[name]; ok {
+		return v
+	}
+	return def
+}
+
+// Clone returns a copy (nil stays nil).
+func (p Params) Clone() Params {
+	if p == nil {
+		return nil
+	}
+	out := make(Params, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// ParamSpec declares one parameter a policy accepts.
+type ParamSpec struct {
+	// Name is the JSON key ("migration_limit").
+	Name string
+	// Doc is the one-line description shown by `starnuma policy list`.
+	Doc string
+	// Default is the value used when the parameter is absent.
+	Default float64
+}
+
+// Descriptor is one registered migration policy: a stable name, a doc
+// line, the parameter schema, and the factory that builds instances.
+// Modeled on the experiment registry (internal/exp): the registry is the
+// single source of truth — the CLIs' `policy list`, the scenario DSL's
+// validation, core's construction and the policysweep tournament all
+// derive from it, so adding a policy is one Register call.
+type Descriptor struct {
+	// Name is the canonical registry key ("starnuma", "oracle").
+	Name string
+	// Doc is the one-line human description.
+	Doc string
+	// Params is the accepted parameter schema; NewPolicy rejects keys
+	// outside it.
+	Params []ParamSpec
+	// UsesTracker marks policies that consume the region tracker's
+	// metadata; the timing layer charges tracker flush traffic only for
+	// these.
+	UsesTracker bool
+	// New builds a policy instance. Parameters are pre-validated against
+	// Params; the factory may still reject out-of-range values.
+	New func(Params, PolicyEnv) (Policy, error)
+}
+
+// policyRegistry holds the registered descriptors in registration order
+// (builtin.go registers the built-ins in tournament order).
+var policyRegistry []Descriptor
+
+// Register adds a policy descriptor. It panics on a duplicate or empty
+// name or a nil factory — registration is init-time wiring, and a broken
+// registration should fail the whole binary, loudly.
+func Register(d Descriptor) {
+	if d.Name == "" || d.New == nil {
+		panic("migrate: Register needs a name and a factory")
+	}
+	for _, e := range policyRegistry {
+		if e.Name == d.Name {
+			panic("migrate: duplicate policy " + d.Name)
+		}
+	}
+	policyRegistry = append(policyRegistry, d)
+}
+
+// Policies returns the registered descriptors in registration order.
+// The slice is a copy; descriptors are shared.
+func Policies() []Descriptor {
+	out := make([]Descriptor, len(policyRegistry))
+	copy(out, policyRegistry)
+	return out
+}
+
+// PolicyNames lists the registered policy names in registration order.
+func PolicyNames() []string {
+	out := make([]string, len(policyRegistry))
+	for i, d := range policyRegistry {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// LookupPolicy resolves a registry name to its descriptor.
+func LookupPolicy(name string) (Descriptor, bool) {
+	for _, d := range policyRegistry {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Descriptor{}, false
+}
+
+// CheckParams validates params against the named policy's schema:
+// unknown policy names and parameter keys outside the schema are
+// rejected. Keys are checked in sorted order so the first error is
+// deterministic.
+func CheckParams(name string, params Params) error {
+	d, ok := LookupPolicy(name)
+	if !ok {
+		return fmt.Errorf("migrate: unknown policy %q (registered: %s)",
+			name, strings.Join(PolicyNames(), ", "))
+	}
+	if len(params) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		known := false
+		for _, ps := range d.Params {
+			if ps.Name == k {
+				known = true
+				break
+			}
+		}
+		if !known {
+			var names []string
+			for _, ps := range d.Params {
+				names = append(names, ps.Name)
+			}
+			return fmt.Errorf("migrate: policy %q has no parameter %q (accepted: %s)",
+				name, k, strings.Join(names, ", "))
+		}
+	}
+	return nil
+}
+
+// NewPolicy validates params and builds an instance of the named policy.
+func NewPolicy(name string, params Params, env PolicyEnv) (Policy, error) {
+	if err := CheckParams(name, params); err != nil {
+		return nil, err
+	}
+	d, _ := LookupPolicy(name)
+	p, err := d.New(params, env.normalize())
+	if err != nil {
+		return nil, fmt.Errorf("migrate: policy %q: %w", name, err)
+	}
+	return p, nil
+}

@@ -63,6 +63,113 @@ func (c ReplicationConfig) Validate() error {
 	return nil
 }
 
+// Replicator is implemented by policies that select pages for software
+// replication as part of their decisions. core consumes the final set
+// into TraceResult.Replicated and threads the returned model into the
+// step-C configuration, so replica reads hit socket-local copies and
+// replica writes pay the software coherence penalty.
+type Replicator interface {
+	// ReplicatedSet returns the pages selected for replication (nil when
+	// nothing was selected).
+	ReplicatedSet() []bool
+	// ReplicationModel returns the timing model for the replica set.
+	ReplicationModel() ReplicationConfig
+}
+
+// ReplicationPolicy turns the §V-F study into a dynamic policy:
+// Algorithm 1's scan handles region placement, while a per-phase pass
+// over the page counts replicates hot, widely-shared, read-mostly pages
+// — the vagabond pages that architecturally lack a good single home.
+// Selection is sticky (a replica, once made, stays) and bounded by the
+// capacity budget; replicated pages are kept out of the pool, whose
+// capacity is better spent on write-shared pages replicas cannot serve.
+type ReplicationPolicy struct {
+	inner *StarNUMA
+	cfg   ReplicationConfig
+	hot   uint64 // per-phase access floor for a replication candidate
+
+	replicated []bool
+	nRepl      int
+}
+
+// Name implements Policy.
+func (p *ReplicationPolicy) Name() string { return "replication" }
+
+// Stats implements Policy.
+func (p *ReplicationPolicy) Stats() Stats { return p.inner.Stats() }
+
+// ReplicatedSet implements Replicator.
+func (p *ReplicationPolicy) ReplicatedSet() []bool { return p.replicated }
+
+// ReplicationModel implements Replicator.
+func (p *ReplicationPolicy) ReplicationModel() ReplicationConfig { return p.cfg }
+
+// Decide implements Policy.
+func (p *ReplicationPolicy) Decide(phase int, st *State) []Migration {
+	if st.Counts != nil {
+		p.updateReplicas(st)
+	}
+	out := p.inner.Decide(phase, st)
+	if !st.HasPool || p.nRepl == 0 {
+		return out
+	}
+	// Replicated pages are read socket-locally; pooling them wastes
+	// capacity. Cancel the scan's pool-bound moves of replicated pages.
+	kept := out[:0]
+	for _, m := range out {
+		if m.To == st.PoolNode && int(m.Page) < len(p.replicated) && p.replicated[m.Page] {
+			st.PageHome[m.Page] = m.From
+			continue
+		}
+		kept = append(kept, m)
+	}
+	return kept
+}
+
+// updateReplicas grows the sticky replica set from this phase's counts:
+// qualifying pages (widely shared, read-mostly, hot enough) join in
+// descending heat order until the capacity budget is spent.
+func (p *ReplicationPolicy) updateReplicas(st *State) {
+	pages := len(st.PageHome)
+	if p.replicated == nil {
+		p.replicated = make([]bool, pages)
+	}
+	budget := int(p.cfg.CapacityFrac * float64(pages))
+	if p.nRepl >= budget {
+		return
+	}
+	type cand struct {
+		pg  uint32
+		tot uint64
+	}
+	var cands []cand
+	for pg := 0; pg < pages; pg++ {
+		u := uint32(pg)
+		if p.replicated[pg] {
+			continue
+		}
+		tot := st.Counts.Total(u)
+		if tot < p.hot || st.Counts.Sharers(u) < p.cfg.MinSharers ||
+			st.Counts.WriteFrac(u) > p.cfg.MaxWriteFrac {
+			continue
+		}
+		cands = append(cands, cand{u, tot})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].tot != cands[j].tot {
+			return cands[i].tot > cands[j].tot
+		}
+		return cands[i].pg < cands[j].pg
+	})
+	for _, c := range cands {
+		if p.nRepl >= budget {
+			break
+		}
+		p.replicated[c.pg] = true
+		p.nRepl++
+	}
+}
+
 // ReplicationSet selects the pages to replicate from whole-run access
 // knowledge: the hottest pages that are widely shared and read-mostly,
 // up to the capacity budget. Like the static oracle, the study is

@@ -1,0 +1,85 @@
+package runner
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"starnuma/internal/core"
+	"starnuma/internal/workload"
+)
+
+// goldenCacheKeys pins the content-addressed cache keys of the three
+// legacy policies, captured before the PolicyKind enum was replaced by
+// the PolicySpec registry selector. The redesign's compatibility
+// contract: a pre-redesign SimConfig must hash to the byte-identical
+// key, so every previously cached result stays addressable.
+var goldenCacheKeys = map[string]string{
+	"starnuma":         "c7e9c406470a3e20ec287a2898b2edbeb0c41c32bb2a1288dd98c8452b16a955",
+	"baseline-perfect": "4f9ce07bc2b06cd62b1ebb3bbac3ce8f3f13e1040a6b51404e7fa70c1ee0aca6",
+	"none":             "99d10ec83b136e911018b1dff55a54940adaba42c66d006330ff36937602f895",
+}
+
+func goldenInputs(t *testing.T, policy core.PolicySpec) (core.SystemConfig, core.SimConfig, workload.Spec) {
+	t.Helper()
+	spec, err := workload.ByName("BFS", 0.125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.QuickSim()
+	cfg.Policy = policy
+	return core.StarNUMASystem(), cfg, spec
+}
+
+func TestCacheKeyLegacyPolicyCompat(t *testing.T) {
+	c := newResultCache(t.TempDir(), "")
+	for _, p := range []core.PolicySpec{core.PolicyStarNUMA, core.PolicyPerfectBaseline, core.PolicyNone} {
+		sys, cfg, spec := goldenInputs(t, p)
+		k, err := c.key(sys, cfg, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := goldenCacheKeys[p.String()]; k != want {
+			t.Errorf("cache key for %v drifted:\n got  %s\n want %s\n"+
+				"(pre-redesign entries would no longer be addressable)", p, k, want)
+		}
+	}
+}
+
+// TestCacheKeyLegacyJSONRoundTrip proves the stronger property: a
+// SimConfig decoded from legacy JSON (bare integer Policy values, as
+// every pre-redesign config marshaled) hashes to the same key as the
+// modern value — and the modern value still marshals to that legacy
+// form.
+func TestCacheKeyLegacyJSONRoundTrip(t *testing.T) {
+	c := newResultCache(t.TempDir(), "")
+	for code, p := range []core.PolicySpec{core.PolicyStarNUMA, core.PolicyPerfectBaseline, core.PolicyNone} {
+		sys, cfg, spec := goldenInputs(t, p)
+		b, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The modern spec must emit the legacy bare-integer encoding.
+		if want := `"Policy":` + string(rune('0'+code)) + `,`; !strings.Contains(string(b), want) {
+			t.Fatalf("SimConfig JSON for %v lost the legacy encoding %s:\n%s", p, want, b)
+		}
+		var decoded core.SimConfig
+		if err := json.Unmarshal(b, &decoded); err != nil {
+			t.Fatal(err)
+		}
+		k1, err := c.key(sys, cfg, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k2, err := c.key(sys, decoded, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k1 != k2 {
+			t.Errorf("legacy JSON round-trip changed the cache key for %v: %s != %s", p, k1, k2)
+		}
+		if k1 != goldenCacheKeys[p.String()] {
+			t.Errorf("key for %v drifted from golden: %s", p, k1)
+		}
+	}
+}

@@ -77,7 +77,7 @@ func TestRunAll(t *testing.T) {
 	if len(results) != 2 {
 		t.Fatalf("got %d results, want 2", len(results))
 	}
-	if results[0].Policy != core.PolicyPerfectBaseline || results[1].Policy != core.PolicyStarNUMA {
+	if !results[0].Policy.Is("baseline-perfect") || !results[1].Policy.Is("starnuma") {
 		t.Fatalf("results out of input order: %v, %v", results[0].Policy, results[1].Policy)
 	}
 

@@ -5,6 +5,7 @@ import (
 
 	"starnuma/internal/core"
 	"starnuma/internal/link"
+	"starnuma/internal/migrate"
 	"starnuma/internal/pool"
 	"starnuma/internal/stats"
 	"starnuma/internal/tracker"
@@ -147,13 +148,15 @@ func (c *Compiled) compileSim() {
 	if s.Sim.Phases > 0 {
 		cfg.Phases = s.Sim.Phases
 	}
-	switch s.Sim.Policy {
-	case "baseline-perfect":
-		cfg.Policy = core.PolicyPerfectBaseline
-	case "none":
-		cfg.Policy = core.PolicyNone
-	default:
-		cfg.Policy = core.PolicyStarNUMA
+	// The named policy comes straight from the migrate registry
+	// (Validate already checked name and parameter keys). Legacy names
+	// without parameters keep their historical cache-key encoding via
+	// the PolicySpec codec.
+	if s.Sim.Policy != "" || len(s.Sim.PolicyParams) > 0 {
+		cfg.Policy = core.PolicySpec{Name: s.Sim.Policy, Params: migrate.Params(s.Sim.PolicyParams)}
+		if cfg.Policy.Name == "" {
+			cfg.Policy.Name = "starnuma"
+		}
 	}
 	if s.Sim.Tracker == "t0" {
 		cfg.Tracker = tracker.T0

@@ -2,8 +2,6 @@ package scenario
 
 import (
 	"testing"
-
-	"starnuma/internal/core"
 )
 
 func mustParse(t *testing.T, doc string) *Scenario {
@@ -93,7 +91,7 @@ func TestCompileBaselineSpeedupAndMetrics(t *testing.T) {
 	}
 	// The baseline runs the perfect-baseline policy on a pool-less system
 	// with the scenario's topology shape.
-	if c.BaseCfg.Policy != core.PolicyPerfectBaseline {
+	if !c.BaseCfg.Policy.Is("baseline-perfect") {
 		t.Errorf("base policy = %v", c.BaseCfg.Policy)
 	}
 	if c.BaseSys.Topology.HasPool {

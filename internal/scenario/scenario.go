@@ -97,8 +97,12 @@ type SimSpec struct {
 	// Scale is the default workload footprint scale (0 keeps the
 	// preset's: 0.125 quick, 0.25 default).
 	Scale float64 `json:"scale,omitempty"`
-	// Policy is "starnuma" (default), "baseline-perfect" or "none".
+	// Policy is a migration-policy registry name (internal/migrate;
+	// "starnuma" when empty — see `starnuma policy list`).
 	Policy string `json:"policy,omitempty"`
+	// PolicyParams overrides the policy's descriptor-declared parameters
+	// by name; keys are validated against the registry schema.
+	PolicyParams map[string]float64 `json:"policy_params,omitempty"`
 	// Tracker is "t16" (default) or "t0".
 	Tracker string `json:"tracker,omitempty"`
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"starnuma/internal/fault"
+	"starnuma/internal/migrate"
 	"starnuma/internal/stats"
 	"starnuma/internal/workload"
 )
@@ -124,8 +125,16 @@ func (s *Scenario) validateSim() error {
 	if sim.Scale < 0 {
 		return fieldErr("sim.scale", "negative scale %v", sim.Scale)
 	}
-	if !oneOf(sim.Policy, "starnuma", "baseline-perfect", "none") {
-		return fieldErr("sim.policy", "unknown policy %q (want starnuma, baseline-perfect or none)", sim.Policy)
+	policy := sim.Policy
+	if policy == "" {
+		policy = "starnuma"
+	}
+	if _, ok := migrate.LookupPolicy(policy); !ok {
+		return fieldErr("sim.policy", "unknown policy %q (registered: %s)",
+			sim.Policy, strings.Join(migrate.PolicyNames(), ", "))
+	}
+	if err := migrate.CheckParams(policy, migrate.Params(sim.PolicyParams)); err != nil {
+		return fieldErr("sim.policy_params", "%v", err)
 	}
 	if !oneOf(sim.Tracker, "t16", "t0") {
 		return fieldErr("sim.tracker", "unknown tracker %q (want t16 or t0)", sim.Tracker)
