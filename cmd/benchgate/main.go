@@ -1,0 +1,120 @@
+// Command benchgate compares a fresh `expall -benchjson` report against
+// a committed baseline and fails when step-C simulation throughput
+// (windows per second) regressed beyond tolerance.
+//
+// Usage:
+//
+//	benchgate [-max-drop 0.10] [-warn-gain 0.10] baseline.json fresh.json
+//
+// The gate reads the overall windows_per_sec of both reports (deriving
+// it from windows_done / suite_seconds for baselines written before the
+// field existed), and:
+//
+//   - exits 1 when the fresh throughput is more than -max-drop below
+//     the baseline (a regression);
+//   - warns on stderr when it is more than -warn-gain above it — a
+//     signal the committed baseline is stale and should be regenerated
+//     so the gate keeps teeth;
+//   - exits 2 on malformed input (unreadable files, zero-window runs),
+//     so CI never confuses "could not measure" with "fast enough".
+//
+// Both reports must come from cache-disabled runs: a cache hit does no
+// step-C work, making windows_per_sec meaningless (and zero-window
+// reports are rejected). docs/PERFORMANCE.md documents the measurement
+// methodology.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// report is the subset of expall's -benchjson document the gate reads.
+type report struct {
+	SuiteSeconds  float64 `json:"suite_seconds"`
+	WindowsDone   int64   `json:"windows_done"`
+	WindowsPerSec float64 `json:"windows_per_sec"`
+}
+
+// throughput returns the report's overall windows/sec, deriving it for
+// baselines that predate the windows_per_sec field.
+func throughput(r report) (float64, error) {
+	if r.WindowsDone <= 0 {
+		return 0, fmt.Errorf("report has no simulated windows (cache-enabled run?)")
+	}
+	if r.SuiteSeconds <= 0 {
+		return 0, fmt.Errorf("report has non-positive suite_seconds %v", r.SuiteSeconds)
+	}
+	if r.WindowsPerSec > 0 {
+		return r.WindowsPerSec, nil
+	}
+	return float64(r.WindowsDone) / r.SuiteSeconds, nil
+}
+
+// verdict compares fresh against base throughput. fail means the gate
+// should exit non-zero; warn carries a non-fatal staleness message.
+func verdict(base, fresh, maxDrop, warnGain float64) (fail bool, warn string, summary string) {
+	delta := fresh/base - 1
+	summary = fmt.Sprintf("windows/sec: baseline %.2f, fresh %.2f (%+.1f%%)", base, fresh, delta*100)
+	if delta < -maxDrop {
+		return true, "", summary
+	}
+	if delta > warnGain {
+		warn = fmt.Sprintf("fresh throughput is %.1f%% above the committed baseline; "+
+			"regenerate the baseline so future regressions are measured against it", delta*100)
+	}
+	return false, warn, summary
+}
+
+func readReport(path string) (report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return report{}, err
+	}
+	var r report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+func main() {
+	var (
+		maxDrop  = flag.Float64("max-drop", 0.10, "fail when windows/sec drops more than this fraction below baseline")
+		warnGain = flag.Float64("warn-gain", 0.10, "warn when windows/sec exceeds baseline by more than this fraction")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-max-drop F] [-warn-gain F] baseline.json fresh.json")
+		os.Exit(2)
+	}
+	fail := false
+	var rates [2]float64
+	for i, path := range flag.Args() {
+		r, err := readReport(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		rate, err := throughput(r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		rates[i] = rate
+	}
+	failed, warn, summary := verdict(rates[0], rates[1], *maxDrop, *warnGain)
+	fmt.Println(summary)
+	if warn != "" {
+		fmt.Fprintf(os.Stderr, "benchgate: warning: %s\n", warn)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL: throughput dropped more than %.0f%% below baseline\n", *maxDrop*100)
+		fail = true
+	}
+	if fail {
+		os.Exit(1)
+	}
+}

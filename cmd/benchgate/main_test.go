@@ -1,0 +1,80 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestThroughputPrefersExplicitField(t *testing.T) {
+	r := report{SuiteSeconds: 100, WindowsDone: 500, WindowsPerSec: 7.5}
+	got, err := throughput(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7.5 {
+		t.Fatalf("throughput = %v, want the explicit 7.5", got)
+	}
+}
+
+func TestThroughputDerivesForOldSchema(t *testing.T) {
+	r := report{SuiteSeconds: 250, WindowsDone: 500}
+	got, err := throughput(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("throughput = %v, want derived 2.0", got)
+	}
+}
+
+func TestThroughputRejectsUnmeasurableReports(t *testing.T) {
+	cases := []report{
+		{SuiteSeconds: 100, WindowsDone: 0},  // full cache hit
+		{SuiteSeconds: 0, WindowsDone: 500},  // no wall time
+		{SuiteSeconds: -1, WindowsDone: 500}, // nonsense
+	}
+	for _, r := range cases {
+		if _, err := throughput(r); err == nil {
+			t.Errorf("throughput(%+v) accepted an unmeasurable report", r)
+		}
+	}
+}
+
+func TestVerdictFailsOnRegression(t *testing.T) {
+	fail, _, summary := verdict(10.0, 8.9, 0.10, 0.10) // -11%
+	if !fail {
+		t.Fatalf("11%% drop passed the 10%% gate (summary: %s)", summary)
+	}
+}
+
+func TestVerdictAllowsSmallDrop(t *testing.T) {
+	fail, warn, _ := verdict(10.0, 9.5, 0.10, 0.10) // -5%
+	if fail {
+		t.Fatal("5% drop failed the 10% gate")
+	}
+	if warn != "" {
+		t.Fatalf("5%% drop produced a staleness warning: %s", warn)
+	}
+}
+
+func TestVerdictWarnsOnStaleBaseline(t *testing.T) {
+	fail, warn, _ := verdict(2.0, 8.0, 0.10, 0.10) // +300%
+	if fail {
+		t.Fatal("a 4x gain failed the gate")
+	}
+	if warn == "" {
+		t.Fatal("a 4x gain produced no stale-baseline warning")
+	}
+	if !strings.Contains(warn, "regenerate") {
+		t.Fatalf("warning does not tell the user what to do: %s", warn)
+	}
+}
+
+func TestVerdictBoundaryIsInclusive(t *testing.T) {
+	// Exactly -10% must pass: the gate fails only strictly beyond it.
+	fail, _, _ := verdict(10.0, 9.0, 0.10, 0.10)
+	if fail {
+		t.Fatal("exactly -10% failed a 10% gate")
+	}
+}

@@ -26,22 +26,32 @@ import (
 )
 
 // benchExperiment is one per-experiment timing record of -benchjson.
+// Windows counts the step-C windows actually simulated for the
+// experiment (0 when every run came from the cache), and WindowsPerSec
+// is the simulation throughput those windows achieved.
 type benchExperiment struct {
-	ID      string  `json:"id"`
-	Seconds float64 `json:"seconds"`
+	ID            string  `json:"id"`
+	Seconds       float64 `json:"seconds"`
+	Windows       int64   `json:"windows"`
+	WindowsPerSec float64 `json:"windows_per_sec"`
 }
 
-// benchReport is the -benchjson document.
+// benchReport is the -benchjson document. WindowsPerSec is the suite's
+// overall step-C throughput — the headline number docs/PERFORMANCE.md's
+// methodology tracks and CI's bench-regress step gates on; it is only
+// meaningful for cache-disabled runs (windows_done is 0 on a full
+// cache hit).
 type benchReport struct {
-	Timestamp    string            `json:"timestamp"`
-	Quick        bool              `json:"quick"`
-	Scale        float64           `json:"scale"`
-	Jobs         int               `json:"jobs"`
-	SuiteSeconds float64           `json:"suite_seconds"`
-	CacheHits    int64             `json:"cache_hits"`
-	CacheMisses  int64             `json:"cache_misses"`
-	WindowsDone  int64             `json:"windows_done"`
-	Experiments  []benchExperiment `json:"experiments"`
+	Timestamp     string            `json:"timestamp"`
+	Quick         bool              `json:"quick"`
+	Scale         float64           `json:"scale"`
+	Jobs          int               `json:"jobs"`
+	SuiteSeconds  float64           `json:"suite_seconds"`
+	CacheHits     int64             `json:"cache_hits"`
+	CacheMisses   int64             `json:"cache_misses"`
+	WindowsDone   int64             `json:"windows_done"`
+	WindowsPerSec float64           `json:"windows_per_sec"`
+	Experiments   []benchExperiment `json:"experiments"`
 }
 
 func main() {
@@ -87,12 +97,19 @@ func main() {
 	var timings []benchExperiment
 	for _, id := range exp.IDs() {
 		t0 := time.Now()
+		prevWindows := r.Exec().Metrics().WindowsDone
 		table, err := r.ByID(id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "expall: %s: %v\n", id, err)
 			os.Exit(1)
 		}
-		timings = append(timings, benchExperiment{ID: id, Seconds: time.Since(t0).Seconds()})
+		secs := time.Since(t0).Seconds()
+		windows := r.Exec().Metrics().WindowsDone - prevWindows
+		wps := 0.0
+		if secs > 0 {
+			wps = float64(windows) / secs
+		}
+		timings = append(timings, benchExperiment{ID: id, Seconds: secs, Windows: windows, WindowsPerSec: wps})
 		rendered, err := table.Format(*format)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "expall: %v\n", err)
@@ -126,6 +143,9 @@ func main() {
 			CacheMisses:  m.CacheMisses,
 			WindowsDone:  m.WindowsDone,
 			Experiments:  timings,
+		}
+		if report.SuiteSeconds > 0 {
+			report.WindowsPerSec = float64(report.WindowsDone) / report.SuiteSeconds
 		}
 		b, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

@@ -8,7 +8,11 @@
 // decide when an access must be served by a cache-to-cache block
 // transfer and when an eviction must write back dirty data.
 //
-// The cache is set-associative with true per-set LRU.
+// The cache is set-associative with true per-set LRU. Storage is
+// struct-of-arrays (parallel tag and metadata arrays) and invalidation
+// on Reset is by generation bump, so a timing window can recycle a
+// multi-megabyte LLC without touching its arrays — the per-window
+// allocation cost this replaced dominated step-C setup time.
 package cache
 
 import "fmt"
@@ -20,18 +24,37 @@ const (
 	BlockShift = 6
 )
 
-type way struct {
-	tag   uint64
-	valid bool
-	dirty bool
-}
+// Line metadata layout: generation<<2 | dirty<<1 | valid. A line is
+// live only when its stored generation matches the cache's current one,
+// which lets Reset invalidate every line in O(1). Generation 0 is never
+// current, so zeroed metadata is always invalid.
+const (
+	metaValid = 1 << 0
+	metaDirty = 1 << 1
+	metaGen   = 2 // generation shift
+	// maxGen bounds the generation counter; on wrap Reset falls back to
+	// clearing the metadata array. 2^30 windows per LLC never happens in
+	// practice, so the fallback is effectively dead code kept for
+	// correctness.
+	maxGen = 1<<30 - 1
+)
 
 // LLC is a set-associative presence cache over 64-byte block addresses.
 type LLC struct {
 	ways    int
 	sets    int
 	setMask uint64
-	lines   []way // sets*ways entries; within a set, index 0 is MRU
+	gen     uint32
+	clock   uint64   // monotone LRU stamp source, shared by all sets
+	tags    []uint64 // sets*ways entries; slot order within a set is arbitrary
+	meta    []uint32 // parallel to tags: generation/dirty/valid
+	// tick holds each line's last-use stamp. LRU is the live line with
+	// the smallest stamp — equivalent to an ordered recency list, but
+	// promotion is one store instead of shifting the set's arrays.
+	// Stamps are unique (clock is strictly increasing) and only their
+	// relative order within one window's live lines is ever compared, so
+	// carrying the clock across Reset cannot be observed.
+	tick []uint64
 	// counters
 	inserts, hits, evictions, dirtyEvictions uint64
 }
@@ -55,8 +78,27 @@ func New(capacityBytes int64, ways int) *LLC {
 		ways:    ways,
 		sets:    sets,
 		setMask: uint64(sets - 1),
-		lines:   make([]way, sets*ways),
+		gen:     1,
+		tags:    make([]uint64, sets*ways),
+		meta:    make([]uint32, sets*ways),
+		tick:    make([]uint64, sets*ways),
 	}
+}
+
+// Reset empties the cache and zeroes its counters by bumping the line
+// generation, leaving the arrays untouched. A reset LLC is
+// indistinguishable from a newly built one.
+//
+//starnuma:coldpath once per window on scratch reuse
+func (c *LLC) Reset() {
+	c.gen++
+	if c.gen > maxGen {
+		for i := range c.meta {
+			c.meta[i] = 0
+		}
+		c.gen = 1
+	}
+	c.inserts, c.hits, c.evictions, c.dirtyEvictions = 0, 0, 0, 0
 }
 
 // Sets returns the number of sets.
@@ -68,18 +110,24 @@ func (c *LLC) Ways() int { return c.ways }
 // CapacityBlocks returns how many blocks the cache can hold.
 func (c *LLC) CapacityBlocks() int { return c.sets * c.ways }
 
-func (c *LLC) set(block uint64) []way {
-	s := int(block & c.setMask)
-	return c.lines[s*c.ways : (s+1)*c.ways]
+// setBase returns the first line index of block's set.
+func (c *LLC) setBase(block uint64) int {
+	return int(block&c.setMask) * c.ways
+}
+
+// live reports whether line i currently holds a valid block.
+func (c *LLC) live(i int) bool {
+	m := c.meta[i]
+	return m&metaValid != 0 && m>>metaGen == c.gen
 }
 
 // Contains reports whether block is cached, without touching LRU state.
 //
 //starnuma:hotpath per-access presence probe
 func (c *LLC) Contains(block uint64) bool {
-	for i := range c.set(block) {
-		w := &c.set(block)[i]
-		if w.valid && w.tag == block {
+	base := c.setBase(block)
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == block && c.live(i) {
 			return true
 		}
 	}
@@ -90,10 +138,10 @@ func (c *LLC) Contains(block uint64) bool {
 //
 //starnuma:hotpath one call per access
 func (c *LLC) Touch(block uint64) bool {
-	set := c.set(block)
-	for i := range set {
-		if set[i].valid && set[i].tag == block {
-			promote(set, i)
+	base := c.setBase(block)
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == block && c.live(i) {
+			c.stamp(i)
 			c.hits++
 			return true
 		}
@@ -108,29 +156,42 @@ func (c *LLC) Touch(block uint64) bool {
 //
 //starnuma:hotpath one call per miss fill
 func (c *LLC) Insert(block uint64, dirty bool) (victim uint64, victimDirty, evicted bool) {
-	set := c.set(block)
-	for i := range set {
-		if set[i].valid && set[i].tag == block {
-			set[i].dirty = set[i].dirty || dirty
-			promote(set, i)
+	base := c.setBase(block)
+	m := c.gen<<metaGen | metaValid
+	if dirty {
+		m |= metaDirty
+	}
+	// One scan resolves both outcomes: a tag hit, or the first invalid
+	// way to fill on a miss.
+	invalid := -1
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == block && c.live(i) {
+			c.meta[i] |= m // OR keeps an existing dirty bit
+			c.stamp(i)
 			c.hits++
 			return 0, false, false
 		}
-	}
-	c.inserts++
-	// Prefer an invalid way.
-	for i := range set {
-		if !set[i].valid {
-			set[i] = way{tag: block, valid: true, dirty: dirty}
-			promote(set, i)
-			return 0, false, false
+		if invalid < 0 && !c.live(i) {
+			invalid = i
 		}
 	}
-	// Evict LRU (last slot).
-	last := len(set) - 1
-	victim, victimDirty = set[last].tag, set[last].dirty
-	set[last] = way{tag: block, valid: true, dirty: dirty}
-	promote(set, last)
+	c.inserts++
+	if invalid >= 0 {
+		c.tags[invalid], c.meta[invalid] = block, m
+		c.stamp(invalid)
+		return 0, false, false
+	}
+	// Evict the LRU line: every way is live here, so the victim is the
+	// one with the oldest stamp.
+	lru := base
+	for i := base + 1; i < base+c.ways; i++ {
+		if c.tick[i] < c.tick[lru] {
+			lru = i
+		}
+	}
+	victim, victimDirty = c.tags[lru], c.meta[lru]&metaDirty != 0
+	c.tags[lru], c.meta[lru] = block, m
+	c.stamp(lru)
 	c.evictions++
 	if victimDirty {
 		c.dirtyEvictions++
@@ -143,11 +204,11 @@ func (c *LLC) Insert(block uint64, dirty bool) (victim uint64, victimDirty, evic
 //
 //starnuma:hotpath one call per coherence invalidation
 func (c *LLC) Invalidate(block uint64) (present, wasDirty bool) {
-	set := c.set(block)
-	for i := range set {
-		if set[i].valid && set[i].tag == block {
-			wasDirty = set[i].dirty
-			set[i] = way{}
+	base := c.setBase(block)
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == block && c.live(i) {
+			wasDirty = c.meta[i]&metaDirty != 0
+			c.tags[i], c.meta[i] = 0, 0
 			return true, wasDirty
 		}
 	}
@@ -158,10 +219,10 @@ func (c *LLC) Invalidate(block uint64) (present, wasDirty bool) {
 //
 //starnuma:hotpath one call per write hit
 func (c *LLC) MarkDirty(block uint64) bool {
-	set := c.set(block)
-	for i := range set {
-		if set[i].valid && set[i].tag == block {
-			set[i].dirty = true
+	base := c.setBase(block)
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == block && c.live(i) {
+			c.meta[i] |= metaDirty
 			return true
 		}
 	}
@@ -181,12 +242,10 @@ func (c *LLC) Stats() Stats {
 	return Stats{Inserts: c.inserts, Hits: c.hits, Evictions: c.evictions, DirtyEvictions: c.dirtyEvictions}
 }
 
-// promote moves index i of the set to MRU position, shifting others down.
-func promote(set []way, i int) {
-	if i == 0 {
-		return
-	}
-	w := set[i]
-	copy(set[1:i+1], set[0:i])
-	set[0] = w
+// stamp marks line i as the set's most recently used.
+//
+//starnuma:hotpath one call per hit or fill
+func (c *LLC) stamp(i int) {
+	c.clock++
+	c.tick[i] = c.clock
 }

@@ -65,9 +65,28 @@ type entry struct {
 	owner   int16  // socket holding the dirty copy, -1 if clean
 }
 
-// Directory tracks the global coherence state of cached blocks.
+// denseEntry is the flat-table representation of entry: an entry is
+// live only when its generation matches the directory's current one AND
+// it has at least one sharer (directory invariants guarantee live
+// entries always do — the dirty owner is itself a sharer).
+type denseEntry struct {
+	sharers uint32
+	owner   int16
+	gen     uint16
+}
+
+// Directory tracks the global coherence state of cached blocks. It has
+// two storage modes with identical semantics: a hash map for unbounded
+// address spaces (NewDirectory) and a flat generation-stamped table for
+// bounded ones (NewDirectorySized) — the timing simulation knows its
+// footprint in blocks, and the flat table turns the per-access map
+// lookups that dominated its profile into array indexing, with O(1)
+// Reset via generation bump.
 type Directory struct {
-	blocks  map[uint64]entry
+	blocks  map[uint64]entry // map mode (dense == nil)
+	dense   []denseEntry     // dense mode
+	gen     uint16
+	live    int // dense-mode tracked-block count
 	sockets int
 
 	// Counters for §V-A's coherence-activity observations.
@@ -85,6 +104,91 @@ func NewDirectory(sockets int) *Directory {
 	return &Directory{blocks: make(map[uint64]entry, 1<<16), sockets: sockets}
 }
 
+// maxDenseBlocks caps the dense table at 64MB of entries; larger
+// address spaces keep the map representation.
+const maxDenseBlocks = 1 << 23
+
+// NewDirectorySized creates an empty directory for block addresses in
+// [0, maxBlocks). Small-enough footprints get the flat dense table;
+// larger ones silently fall back to the map, so callers can always
+// prefer this constructor when they know their footprint.
+func NewDirectorySized(sockets, maxBlocks int) *Directory {
+	if maxBlocks <= 0 || maxBlocks > maxDenseBlocks {
+		return NewDirectory(sockets)
+	}
+	if sockets <= 0 || sockets > 32 {
+		panic("coherence: socket count out of range")
+	}
+	return &Directory{dense: make([]denseEntry, maxBlocks), gen: 1, sockets: sockets}
+}
+
+// Reset empties the directory and zeroes its counters. In dense mode
+// this is a generation bump that leaves the table untouched; a reset
+// directory is indistinguishable from a newly built one.
+//
+//starnuma:coldpath once per window on scratch reuse
+func (d *Directory) Reset() {
+	if d.dense != nil {
+		d.gen++
+		if d.gen == 0 { // wrap: invalidate by clearing
+			for i := range d.dense {
+				d.dense[i] = denseEntry{}
+			}
+			d.gen = 1
+		}
+		d.live = 0
+	} else {
+		clear(d.blocks)
+	}
+	d.ResetStats()
+}
+
+// lookup fetches the entry for block, if live.
+//
+//starnuma:hotpath per directory operation
+func (d *Directory) lookup(block uint64) (entry, bool) {
+	if d.dense != nil {
+		de := &d.dense[block]
+		if de.gen == d.gen && de.sharers != 0 {
+			return entry{sharers: de.sharers, owner: de.owner}, true
+		}
+		return entry{}, false
+	}
+	e, ok := d.blocks[block]
+	return e, ok
+}
+
+// store writes the entry for block. e.sharers must be non-zero (every
+// caller has just added a sharer bit).
+//
+//starnuma:hotpath per directory operation
+func (d *Directory) store(block uint64, e entry) {
+	if d.dense != nil {
+		de := &d.dense[block]
+		if de.gen != d.gen || de.sharers == 0 {
+			d.live++
+		}
+		*de = denseEntry{sharers: e.sharers, owner: e.owner, gen: d.gen}
+		return
+	}
+	d.blocks[block] = e
+}
+
+// remove drops block's entry.
+//
+//starnuma:hotpath per last-sharer eviction
+func (d *Directory) remove(block uint64) {
+	if d.dense != nil {
+		de := &d.dense[block]
+		if de.gen == d.gen && de.sharers != 0 {
+			d.live--
+		}
+		de.sharers = 0
+		return
+	}
+	delete(d.blocks, block)
+}
+
 // Access records socket s reading or writing block, whose current home
 // node is home (a socket or the pool). homeIsPool selects the 4-hop path
 // for dirty remote hits. The returned Result tells the timing layer what
@@ -94,7 +198,7 @@ func NewDirectory(sockets int) *Directory {
 //starnuma:hotpath one call per LLC-missing access
 func (d *Directory) Access(s topology.NodeID, block uint64, write bool, homeIsPool bool) Result {
 	d.transactions++
-	e, ok := d.blocks[block]
+	e, ok := d.lookup(block)
 	res := Result{Outcome: Memory, Owner: -1}
 	bit := uint32(1) << uint(s)
 
@@ -120,7 +224,7 @@ func (d *Directory) Access(s topology.NodeID, block uint64, write bool, homeIsPo
 				d.invalidations++
 			}
 		}
-		d.blocks[block] = entry{sharers: bit, owner: int16(s)}
+		d.store(block, entry{sharers: bit, owner: int16(s)})
 	} else {
 		newOwner := int16(-1)
 		sharers := e.sharers | bit
@@ -131,7 +235,7 @@ func (d *Directory) Access(s topology.NodeID, block uint64, write bool, homeIsPo
 			// Remote dirty copy was transferred; it downgrades to shared
 			// (the transfer writes the data back through the home).
 		}
-		d.blocks[block] = entry{sharers: sharers, owner: newOwner}
+		d.store(block, entry{sharers: sharers, owner: newOwner})
 	}
 	return res
 }
@@ -142,7 +246,7 @@ func (d *Directory) Access(s topology.NodeID, block uint64, write bool, homeIsPo
 //
 //starnuma:hotpath one call per LLC eviction
 func (d *Directory) Evict(s topology.NodeID, block uint64, dirty bool) (writeback bool) {
-	e, ok := d.blocks[block]
+	e, ok := d.lookup(block)
 	if !ok {
 		return dirty
 	}
@@ -155,9 +259,9 @@ func (d *Directory) Evict(s topology.NodeID, block uint64, dirty bool) (writebac
 		writeback = dirty
 	}
 	if e.sharers == 0 {
-		delete(d.blocks, block)
+		d.remove(block)
 	} else {
-		d.blocks[block] = e
+		d.store(block, e)
 	}
 	return writeback
 }
@@ -167,7 +271,7 @@ func (d *Directory) Evict(s topology.NodeID, block uint64, dirty bool) (writebac
 //
 //starnuma:hotpath one call per invalidation acknowledgement
 func (d *Directory) Invalidated(s topology.NodeID, block uint64) {
-	e, ok := d.blocks[block]
+	e, ok := d.lookup(block)
 	if !ok {
 		return
 	}
@@ -176,15 +280,15 @@ func (d *Directory) Invalidated(s topology.NodeID, block uint64) {
 		e.owner = -1
 	}
 	if e.sharers == 0 {
-		delete(d.blocks, block)
+		d.remove(block)
 	} else {
-		d.blocks[block] = e
+		d.store(block, e)
 	}
 }
 
 // Sharers returns the number of sockets currently caching block.
 func (d *Directory) Sharers(block uint64) int {
-	e, ok := d.blocks[block]
+	e, ok := d.lookup(block)
 	if !ok {
 		return 0
 	}
@@ -196,7 +300,12 @@ func (d *Directory) Sharers(block uint64) int {
 }
 
 // TrackedBlocks returns the number of blocks with live directory state.
-func (d *Directory) TrackedBlocks() int { return len(d.blocks) }
+func (d *Directory) TrackedBlocks() int {
+	if d.dense != nil {
+		return d.live
+	}
+	return len(d.blocks)
+}
 
 // Stats is a snapshot of the directory's lifetime activity counters.
 type Stats struct {

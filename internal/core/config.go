@@ -8,6 +8,16 @@
 //	step C — a discrete-event timing simulation of each checkpoint
 //	         measures IPC, AMAT and the access breakdown, which are
 //	         aggregated across checkpoints.
+//
+// Everything in this package is bound by the determinism contract: a
+// Result is a pure function of (SystemConfig, SimConfig, workload spec,
+// seed). Step-C windows are independent and may run concurrently on
+// any worker count, but each must produce bit-identical windowStats
+// regardless of scheduling — which is why window state lives in pooled
+// scratches that reset to a fresh-built state, why the event queue
+// orders ties by sequence number, and why no code here may consult the
+// wall clock, environment, or map iteration order (starnumavet
+// enforces the mechanical parts).
 package core
 
 import (

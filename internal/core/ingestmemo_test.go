@@ -1,0 +1,115 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"starnuma/internal/topology"
+	"starnuma/internal/tracker"
+	"starnuma/internal/workload"
+)
+
+// plainSource hides a source's fast-path contracts (phaseBudgeter,
+// bulkReplayer, streamIdentifier) behind the bare AccessSource
+// interface, forcing TraceSimulate down the scalar regenerate-and-visit
+// path with no recording and no memoization. It is the reference
+// implementation for the differential tests below.
+type plainSource struct{ AccessSource }
+
+// traceOutputs projects the fields of a TraceResult that step C and the
+// reports consume, for deep comparison.
+func traceOutputs(tr *TraceResult) map[string]any {
+	return map[string]any{
+		"checkpoints": tr.Checkpoints,
+		"finalHome":   tr.FinalHome,
+		"totals":      tr.Totals,
+		"migrStats":   tr.MigrStats,
+		"flushes":     tr.TrackerFlushes,
+		"drained":     tr.DrainedPages,
+		"replicated":  tr.Replicated,
+	}
+}
+
+// TestIngestMemoizationIsExact runs step B for several policy variants
+// over the same workload twice — once through the bare scalar path
+// (plainSource: no stream recording, no memo) and once through the full
+// fast path, with the ingest memo warmed by the preceding variants —
+// and requires byte-identical results. This is the cross-variant
+// scenario the memo exists for: the second and later fast-path runs
+// restore phase ingests recorded under a different migration policy.
+func TestIngestMemoizationIsExact(t *testing.T) {
+	sys := StarNUMASystem()
+	topo := topology.New(sys.Topology)
+	newGen := func() *workload.Generator {
+		g, err := workload.NewGenerator(tinySpec(t, "BFS"), topo.Sockets(), sys.CoresPerSocket)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	for _, tc := range []struct {
+		name    string
+		policy  PolicySpec
+		striped bool
+	}{
+		{name: "starnuma", policy: PolicyStarNUMA},
+		{name: "oracle", policy: PolicySpec{Name: "oracle"}},
+		{name: "none-striped", policy: PolicyNone, striped: true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tinySim()
+			cfg.Phases = 3
+			cfg.Policy = tc.policy
+			cfg.StripedPlacement = tc.striped
+
+			want, err := TraceSimulate(sys, cfg, plainSource{newGen()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Twice through the fast path: the first run may record the
+			// memo entries, the second is guaranteed to restore them.
+			for round := 0; round < 2; round++ {
+				got, err := TraceSimulate(sys, cfg, newGen())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(traceOutputs(got), traceOutputs(want)) {
+					t.Fatalf("round %d: memoized trace result diverges from scalar reference", round)
+				}
+			}
+		})
+	}
+}
+
+// TestIngestMemoKeyedByTrackerShape pins that runs differing only in
+// tracker shape do not share memo entries: a T0 run after a T16 run of
+// the same workload must still match its own scalar reference.
+func TestIngestMemoKeyedByTrackerShape(t *testing.T) {
+	sys := StarNUMASystem()
+	topo := topology.New(sys.Topology)
+	newGen := func() *workload.Generator {
+		g, err := workload.NewGenerator(tinySpec(t, "Masstree"), topo.Sockets(), sys.CoresPerSocket)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	for _, cfg := range []SimConfig{
+		tinySim(),
+		func() SimConfig { c := tinySim(); c.Tracker = tracker.T0; return c }(),
+		func() SimConfig { c := tinySim(); c.RegionPages *= 2; return c }(),
+	} {
+		want, err := TraceSimulate(sys, cfg, plainSource{newGen()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := TraceSimulate(sys, cfg, newGen())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(traceOutputs(got), traceOutputs(want)) {
+			t.Fatalf("tracker shape %v/%d: memoized result diverges from scalar reference",
+				cfg.Tracker, cfg.RegionPages)
+		}
+	}
+}

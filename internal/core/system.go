@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strconv"
+	"sync"
 
 	"starnuma/internal/cache"
 	"starnuma/internal/coherence"
@@ -38,7 +39,8 @@ type coreState struct {
 	id, socket  int
 	instr       uint64   // instructions retired so far (by gap accounting)
 	compute     sim.Time // compute-completion time of work up to the pending miss
-	pending     *workload.Access
+	pendingA    workload.Access
+	hasPending  bool
 	outstanding int
 	done        bool
 	wakeAt      sim.Time // earliest scheduled self-wake (dedup)
@@ -48,6 +50,10 @@ type coreState struct {
 	warmupTime  sim.Time
 	warmupInstr uint64
 	finish      sim.Time
+
+	// wake is the core's reusable self-wake event, bound once at scratch
+	// construction so the issue loop never allocates a closure.
+	wake sim.Event
 }
 
 // windowStats is what one step-C timing window produces.
@@ -83,12 +89,21 @@ type windowStats struct {
 }
 
 // timingSystem wires the substrate models together for one window.
+//
+// Its lifecycle is split in two: the *scratch* — topology, engine,
+// links, controllers, caches, directory, TLBs, cores — depends only on
+// (SystemConfig, footprint) and is pooled across windows, while
+// prepare() applies the per-window state (checkpoint page map, fault
+// schedule, sampler, tracing) to either a fresh or a recycled scratch.
+// Building the scratch dominated window setup time; recycling it turns
+// per-window cost into a handful of O(1) resets.
 type timingSystem struct {
 	sys  SystemConfig
 	cfg  SimConfig
 	topo *topology.Topology
 	eng  *sim.Engine
 	gen  AccessSource
+	key  scratchKey
 
 	links   []*link.Link
 	ctrls   []*memdev.Controller // indexed by node
@@ -118,6 +133,10 @@ type timingSystem struct {
 	chargeTracker bool
 	annexCount    []uint64
 
+	// txnFree recycles transaction state machines within the window, so
+	// the per-access coherence paths allocate nothing at steady state.
+	txnFree []*txn
+
 	// met is the window's instrumentation registry; nil (disabled)
 	// unless cfg.CollectMetrics. All writes are nil-safe no-ops when
 	// disabled, and collection never alters timing.
@@ -134,6 +153,18 @@ type timingSystem struct {
 	w windowStats
 }
 
+// scratchKey identifies a reusable scratch shape. Everything the shape
+// depends on is in here; two windows with equal keys can swap scratches
+// freely because prepare() re-applies all remaining state.
+type scratchKey struct {
+	sys      SystemConfig
+	pages    int
+	modelTLB bool
+}
+
+// scratchPools holds one sync.Pool of *timingSystem per scratch shape.
+var scratchPools sync.Map // scratchKey -> *sync.Pool
+
 // policyChargesTracker reports whether the configured policy reads the
 // hardware access tracker, and therefore whether the timing windows must
 // charge annex flush traffic for its metadata. The registry descriptor
@@ -146,52 +177,68 @@ func policyChargesTracker(cfg SimConfig) bool {
 	return ok && d.UsesTracker
 }
 
-// newTimingSystem builds a fresh system for one checkpoint window.
+// acquireTimingSystem returns a timing system ready to run one
+// checkpoint window: a pooled scratch when one with the right shape
+// exists, a freshly built one otherwise.
 //
-//starnuma:coldpath once-per-window construction; allocation here is the point
-func newTimingSystem(sys SystemConfig, cfg SimConfig, gen AccessSource,
+//starnuma:coldpath once-per-window setup
+func acquireTimingSystem(sys SystemConfig, cfg SimConfig, gen AccessSource,
 	chk Checkpoint, replicated []bool) *timingSystem {
+	key := scratchKey{sys: sys, pages: gen.NumPages(), modelTLB: cfg.ModelTLB}
+	var ts *timingSystem
+	if p, ok := scratchPools.Load(key); ok {
+		if v := p.(*sync.Pool).Get(); v != nil {
+			ts = v.(*timingSystem)
+			ts.resetScratch()
+		}
+	}
+	if ts == nil {
+		ts = newScratch(sys, cfg, gen)
+		ts.key = key
+	}
+	ts.prepare(cfg, gen, chk, replicated)
+	return ts
+}
+
+// releaseTimingSystem drops the window-specific references (so results
+// handed to the caller never alias scratch state) and returns the
+// scratch to its shape's pool.
+//
+//starnuma:coldpath once-per-window teardown
+func releaseTimingSystem(ts *timingSystem) {
+	ts.w = windowStats{}
+	ts.gen = nil
+	ts.replicated = nil
+	ts.sampler = nil
+	ts.sched = nil
+	ts.txnTrc = nil
+	ts.lanes = nil
+	ts.met = nil
+	ts.injectors = ts.injectors[:0]
+	p, _ := scratchPools.LoadOrStore(ts.key, &sync.Pool{})
+	p.(*sync.Pool).Put(ts)
+}
+
+// newScratch builds the reusable shape: every structure whose size and
+// wiring depend only on the system config and the workload footprint.
+// All per-window state is left for prepare.
+//
+//starnuma:coldpath runs once per (system, footprint) shape
+func newScratch(sys SystemConfig, cfg SimConfig, gen AccessSource) *timingSystem {
 	topo := topology.New(sys.Topology)
 	ts := &timingSystem{
-		sys:           sys,
-		cfg:           cfg,
-		topo:          topo,
-		eng:           sim.NewEngine(),
-		gen:           gen,
-		dir:           coherence.NewDirectory(topo.Sockets()),
-		inFlight:      make(map[uint32][]func()),
-		cyclePS:       sys.CyclePS(),
-		mlp:           gen.Spec().MLP,
-		annexCount:    make([]uint64, topo.Sockets()),
-		chargeTracker: policyChargesTracker(cfg),
+		sys:        sys,
+		topo:       topo,
+		eng:        sim.NewEngine(),
+		dir:        coherence.NewDirectorySized(topo.Sockets(), gen.NumPages()*workload.BlocksPerPage),
+		inFlight:   make(map[uint32][]func()),
+		cyclePS:    sys.CyclePS(),
+		annexCount: make([]uint64, topo.Sockets()),
 	}
-	if cfg.CollectMetrics {
-		ts.met = metrics.New()
-		ts.eng.SetMetrics(ts.met)
-	}
-	if cfg.Trace {
-		ts.w.trc = evtrace.NewBuffer()
-		ts.lanes = traceLanes(topo)
-		ts.txnTrc = coherence.NewTxnTracer(ts.w.trc, coherenceTraceSample)
-	}
-	localMissCycles := float64(ts.localUnloaded()) / ts.cyclePS
-	ts.ipc0 = gen.Spec().ZeroLoadIPC(localMissCycles)
 	if cfg.ModelTLB {
-		ts.tlbs = tlb.NewSystem(topo.Sockets()*sys.CoresPerSocket, tlb.DefaultConfig())
+		ts.tlbs = tlb.NewSystem(topo.Sockets()*sys.CoresPerSocket, gen.NumPages(), tlb.DefaultConfig())
 	}
-	if cfg.SoftwareTracking.Enable {
-		// A window-local sampler with the same seed redraws the exact
-		// sample step B used for this phase.
-		tbl := tracker.NewTable(cfg.Tracker, gen.NumPages(), cfg.RegionPages)
-		ts.sampler = tracker.NewSampler(tbl, cfg.SoftwareTracking.SampleFrac, gen.Spec().Seed)
-		ts.sampler.ResetPhase(chk.Phase)
-		ts.chargeTracker = false // faults replace annex flush traffic
-	}
-
-	ts.sched = fault.NewSchedule(cfg.Faults)
-
-	// Links: one bandwidth server per directed channel, with a fault
-	// injector installed when the plan targets it during this phase.
+	// Links: one bandwidth server per directed channel.
 	for _, ch := range topo.Channels() {
 		var bw link.GBps
 		switch ch.Kind {
@@ -202,20 +249,9 @@ func newTimingSystem(sys SystemConfig, cfg SimConfig, gen AccessSource,
 		case topology.KindCXL:
 			bw = sys.Pool.LinkBW
 		}
-		l := link.New(fmt.Sprintf("%s:%s->%s", ch.Kind, ch.From, ch.To), bw, ch.Latency)
-		if inj := ts.sched.Link(ch.Kind.String(), ch.From, ch.To, chk.Phase); inj != nil {
-			l.SetFault(inj)
-			ts.injectors = append(ts.injectors, inj)
-			if ts.w.trc != nil {
-				// Fault-adjusted sends trace onto a "fault" process with
-				// one thread per degraded link.
-				l.SetTrace(ts.w.trc, "fault/"+l.Name())
-			}
-		}
-		ts.links = append(ts.links, l)
+		ts.links = append(ts.links, link.New(fmt.Sprintf("%s:%s->%s", ch.Kind, ch.From, ch.To), bw, ch.Latency))
 	}
-
-	// Memory controllers per node.
+	// Memory controllers and LLCs per node.
 	for s := 0; s < topo.Sockets(); s++ {
 		ts.ctrls = append(ts.ctrls, memdev.NewController(fmt.Sprintf("s%d", s), sys.SocketMem))
 		ts.llcs = append(ts.llcs, cache.New(sys.LLCBytes, sys.LLCWays))
@@ -223,28 +259,122 @@ func newTimingSystem(sys SystemConfig, cfg SimConfig, gen AccessSource,
 	if topo.HasPool() {
 		pm := sys.PoolMem
 		pm.Channels = sys.Pool.Channels
-		ctrl := memdev.NewController("pool", pm)
-		ts.poolFault = ts.sched.Pool(chk.Phase, pm.Channels)
-		if ts.poolFault.Dead || len(ts.poolFault.Down) > 0 {
-			ctrl.ApplyFault(ts.poolFault)
+		ts.ctrls = append(ts.ctrls, memdev.NewController("pool", pm))
+	}
+	n := topo.Sockets() * sys.CoresPerSocket
+	for c := 0; c < n; c++ {
+		cs := &coreState{id: c}
+		cs.wake = func(sim.Time) {
+			cs.hasWake = false
+			ts.tryIssue(cs)
 		}
-		ts.ctrls = append(ts.ctrls, ctrl)
+		ts.cores = append(ts.cores, cs)
+	}
+	return ts
+}
+
+// resetScratch restores a recycled scratch to the fresh-built state.
+// Every structure touched here resets in place (generation bumps or
+// zeroing), keeping the allocations.
+//
+//starnuma:coldpath once per window on scratch reuse
+func (ts *timingSystem) resetScratch() {
+	ts.eng.Reset()
+	for _, l := range ts.links {
+		l.Reset()
+	}
+	for _, c := range ts.ctrls {
+		c.Reset()
+	}
+	for _, c := range ts.llcs {
+		c.Reset()
+	}
+	ts.dir.Reset()
+	if ts.tlbs != nil {
+		ts.tlbs.Reset()
+	}
+	clear(ts.inFlight)
+}
+
+// prepare applies one checkpoint window's configuration to the scratch.
+// It runs on both fresh and recycled scratches, so everything a window
+// can observe is (re)set here or in resetScratch — a recycled system
+// must be indistinguishable from a new one.
+//
+//starnuma:coldpath once-per-window configuration
+func (ts *timingSystem) prepare(cfg SimConfig, gen AccessSource, chk Checkpoint, replicated []bool) {
+	ts.cfg = cfg
+	ts.gen = gen
+	ts.mlp = gen.Spec().MLP
+	ts.chargeTracker = policyChargesTracker(cfg)
+	ts.w = windowStats{}
+	ts.met = nil
+	ts.lanes = nil
+	ts.txnTrc = nil
+	ts.trcMigN, ts.trcTLBN = 0, 0
+	if cfg.CollectMetrics {
+		ts.met = metrics.New()
+	}
+	ts.eng.SetMetrics(ts.met)
+	if cfg.Trace {
+		ts.w.trc = evtrace.NewBuffer()
+		ts.lanes = traceLanes(ts.topo)
+		ts.txnTrc = coherence.NewTxnTracer(ts.w.trc, coherenceTraceSample)
+	}
+	localMissCycles := float64(ts.localUnloaded()) / ts.cyclePS
+	ts.ipc0 = gen.Spec().ZeroLoadIPC(localMissCycles)
+	ts.sampler = nil
+	if cfg.SoftwareTracking.Enable {
+		// A window-local sampler with the same seed redraws the exact
+		// sample step B used for this phase.
+		tbl := tracker.NewTable(cfg.Tracker, gen.NumPages(), cfg.RegionPages)
+		ts.sampler = tracker.NewSampler(tbl, cfg.SoftwareTracking.SampleFrac, gen.Spec().Seed)
+		ts.sampler.ResetPhase(chk.Phase)
+		ts.chargeTracker = false // faults replace annex flush traffic
+	}
+
+	// Fault injectors for this window's phase. Installing nil clears any
+	// injector or trace left by a previous window.
+	ts.sched = fault.NewSchedule(cfg.Faults)
+	ts.injectors = ts.injectors[:0]
+	for i, ch := range ts.topo.Channels() {
+		l := ts.links[i]
+		inj := ts.sched.Link(ch.Kind.String(), ch.From, ch.To, chk.Phase)
+		l.SetFault(inj)
+		if inj != nil {
+			ts.injectors = append(ts.injectors, inj)
+			if ts.w.trc != nil {
+				// Fault-adjusted sends trace onto a "fault" process with
+				// one thread per degraded link.
+				l.SetTrace(ts.w.trc, "fault/"+l.Name())
+				continue
+			}
+		}
+		l.SetTrace(nil, "")
+	}
+	ts.poolFault = fault.PoolState{}
+	if ts.topo.HasPool() {
+		ts.poolFault = ts.sched.Pool(chk.Phase, ts.sys.Pool.Channels)
+		// A healthy state installs a nil remap, so applying it
+		// unconditionally leaves a recycled controller identical to a
+		// fresh one.
+		ts.ctrls[ts.topo.PoolNode()].ApplyFault(ts.poolFault)
 	}
 
 	// Placement state.
-	ts.pageHome = make([]topology.NodeID, len(chk.PageHome))
-	copy(ts.pageHome, chk.PageHome)
+	ts.pageHome = append(ts.pageHome[:0], chk.PageHome...)
 	ts.replicated = replicated
 
-	// Cores.
-	n := topo.Sockets() * sys.CoresPerSocket
-	for c := 0; c < n; c++ {
-		ts.cores = append(ts.cores, &coreState{id: c, socket: gen.SocketOf(c)})
+	// Cores: reset in place, keeping identity and the bound wake event.
+	for _, cs := range ts.cores {
+		*cs = coreState{id: cs.id, socket: gen.SocketOf(cs.id), wake: cs.wake}
 	}
-	ts.running = n
+	ts.running = len(ts.cores)
+	for i := range ts.annexCount {
+		ts.annexCount[i] = 0
+	}
 	ts.w.amat = stats.NewAMAT()
-	ts.w.amat.SetUnloadedLatencies(unloadedLatencies(topo, ts.localUnloaded()))
-	return ts
+	ts.w.amat.SetUnloadedLatencies(unloadedLatencies(ts.topo, ts.localUnloaded()))
 }
 
 // localUnloaded is the zero-contention local access latency of the
@@ -289,16 +419,177 @@ func unloadedLatencies(topo *topology.Topology, local sim.Time) [stats.NumAccess
 	return out
 }
 
+// Transaction state machine.
+//
+// The per-access coherence paths used to be chains of nested closures —
+// one fresh heap allocation per hop, per message, per access. A txn is
+// the flattened form: a short program of steps (link sends, a memory
+// access, completion bookkeeping) executed by one reusable event
+// function. A step whose start time is in the future schedules the txn
+// and returns; when the event fires, engine-now has reached that time
+// and execution proceeds — so each step's guard is naturally
+// idempotent. Event times, kinds and scheduling order are identical to
+// the closure chains', which the bit-identity determinism tests gate.
+const (
+	opSend = iota // charge st.bytes over the route st.from -> st.to
+	opMem         // DRAM access at node st.to
+	opDone        // completion: AMAT/trace/core bookkeeping
+)
+
+// txnStep is one instruction of a transaction program.
+type txnStep struct {
+	op       uint8
+	bytes    int32
+	from, to topology.NodeID
+}
+
+// txn is a pooled coherence-transaction state machine.
+type txn struct {
+	ts     *timingSystem
+	fn     sim.Event // bound once: resumes run()
+	steps  [6]txnStep
+	nsteps uint8
+	idx    uint8
+	hopIdx int   // progress within the current send step's route
+	route  []int // current send step's route (borrowed from topology)
+	at     sim.Time
+
+	// Completion context (opDone); unused by fire-and-forget txns.
+	addr   uint64
+	cs     *coreState
+	acc    stats.AccessType
+	issued sim.Time
+	record bool
+	socket topology.NodeID
+	home   topology.NodeID
+	res    coherence.Result
+}
+
+// getTxn returns a blank transaction with at/addr/steps to be filled by
+// the caller, which must then call run(now) once.
+//
+//starnuma:hotpath one to four calls per timed access
+func (ts *timingSystem) getTxn() *txn {
+	if n := len(ts.txnFree); n > 0 {
+		t := ts.txnFree[n-1]
+		ts.txnFree = ts.txnFree[:n-1]
+		return t
+	}
+	//starnumavet:allow hotalloc pool refill; amortized to zero once the window's transaction depth is reached
+	t := &txn{ts: ts}
+	t.fn = func(now sim.Time) { t.run(now) }
+	return t
+}
+
+// putTxn recycles a completed transaction.
+//
+//starnuma:hotpath once per completed transaction
+func (ts *timingSystem) putTxn(t *txn) {
+	t.cs = nil
+	t.route = nil
+	t.res = coherence.Result{}
+	t.nsteps, t.idx, t.hopIdx = 0, 0, 0
+	//starnumavet:allow hotalloc amortized free-list growth; capacity is retained across windows
+	ts.txnFree = append(ts.txnFree, t)
+}
+
+// sendStep appends a message transfer to the program.
+func (t *txn) sendStep(from, to topology.NodeID, bytes int) {
+	t.steps[t.nsteps] = txnStep{op: opSend, from: from, to: to, bytes: int32(bytes)}
+	t.nsteps++
+}
+
+// memStep appends a DRAM access at node to the program.
+func (t *txn) memStep(node topology.NodeID) {
+	t.steps[t.nsteps] = txnStep{op: opMem, to: node}
+	t.nsteps++
+}
+
+// doneStep appends the completion step.
+func (t *txn) doneStep() {
+	t.steps[t.nsteps] = txnStep{op: opDone}
+	t.nsteps++
+}
+
+// run executes the program from the current step, scheduling itself
+// whenever a step starts in the future, and recycles the txn when the
+// program ends.
+//
+//starnuma:hotpath drives every step of every modeled transaction
+func (t *txn) run(_ sim.Time) {
+	ts := t.ts
+	for t.idx < t.nsteps {
+		st := &t.steps[t.idx]
+		switch st.op {
+		case opSend:
+			if t.hopIdx == 0 {
+				t.route = ts.topo.Route(st.from, st.to)
+			}
+			for t.hopIdx < len(t.route) {
+				now := ts.eng.Now()
+				if t.at > now {
+					ts.eng.AtKind(t.at, "send", t.fn)
+					return
+				}
+				delivered, _ := ts.links[t.route[t.hopIdx]].Send(now, int(st.bytes))
+				t.hopIdx++
+				t.at = delivered
+			}
+			t.hopIdx = 0
+			t.idx++
+		case opMem:
+			now := ts.eng.Now()
+			if t.at > now {
+				ts.eng.AtKind(t.at, "mem", t.fn)
+				return
+			}
+			done, _ := ts.ctrls[st.to].Access(now, t.addr, cache.BlockBytes)
+			t.at = done
+			t.idx++
+		case opDone:
+			now := ts.eng.Now()
+			if t.at > now {
+				ts.eng.AtKind(t.at, "complete", t.fn)
+				return
+			}
+			t.finish(now)
+			t.idx++
+		}
+	}
+	ts.putTxn(t)
+}
+
+// finish is the opDone body: record the miss, charge the core, and let
+// it issue more work.
+//
+//starnuma:hotpath completion of every timed access
+func (t *txn) finish(now2 sim.Time) {
+	ts := t.ts
+	cs := t.cs
+	if t.record {
+		ts.w.amat.Observe(t.acc, now2-t.issued)
+		ts.w.misses++
+	}
+	if ts.txnTrc != nil {
+		ts.txnTrc.Record(t.issued, now2-t.issued, ts.lanes[t.socket], t.socket, t.home, t.res)
+	}
+	// Charge the miss's latency, divided by the core's MLP, as serial
+	// stall on the core timeline: the standard additive overlap model
+	// (1/IPC = 1/IPC₀ + missRate × L/MLP), which is also what
+	// ZeroLoadIPC inverts.
+	cs.compute += (now2 - t.issued) / sim.Time(ts.mlp)
+	cs.outstanding--
+	ts.tryIssue(cs)
+}
+
 // sendPath forwards a message hop by hop from node from to node to,
 // calling then with the delivery time. Empty routes (from == to) deliver
-// at start.
-//
-//starnuma:hotpath one call per modeled message
+// at start. Retained for the rare paths (replication, migration); the
+// per-access coherence paths use txn programs instead.
 func (ts *timingSystem) sendPath(start sim.Time, from, to topology.NodeID, bytes int, then func(sim.Time)) {
 	ts.sendHops(start, ts.topo.Route(from, to), bytes, then)
 }
 
-//starnuma:hotpath per message, recursing once per hop
 func (ts *timingSystem) sendHops(at sim.Time, hops []int, bytes int, then func(sim.Time)) {
 	if len(hops) == 0 {
 		then(at)
@@ -320,8 +611,31 @@ func (ts *timingSystem) sendHops(at sim.Time, hops []int, bytes int, then func(s
 // links with demand traffic in FIFO order, so migrations consume
 // bandwidth without head-of-line blocking whole-page transfers.
 //
-//starnuma:hotpath one call per migrated page
+// The first hop — where all packets arrive together — is charged as one
+// SendBatch, which is closed-form identical to 64 sequential Sends; the
+// per-packet fallback covers fault-injected links, whose injector state
+// evolves message by message.
 func (ts *timingSystem) sendPage(start sim.Time, from, to topology.NodeID, then func(sim.Time)) {
+	route := ts.topo.Route(from, to)
+	if len(route) > 0 && start <= ts.eng.Now() {
+		if first, step, ok := ts.links[route[0]].SendBatch(start, ts.sys.DataBytes, pageLineMessages); ok {
+			remaining := pageLineMessages
+			var lastArrival sim.Time
+			cb := func(arr sim.Time) {
+				if arr > lastArrival {
+					lastArrival = arr
+				}
+				remaining--
+				if remaining == 0 {
+					then(lastArrival)
+				}
+			}
+			for i := 0; i < pageLineMessages; i++ {
+				ts.sendHops(first+step.Scale(i), route[1:], ts.sys.DataBytes, cb)
+			}
+			return
+		}
+	}
 	remaining := pageLineMessages
 	var lastArrival sim.Time
 	for i := 0; i < pageLineMessages; i++ {
@@ -338,9 +652,8 @@ func (ts *timingSystem) sendPage(start sim.Time, from, to topology.NodeID, then 
 }
 
 // memAccess performs a DRAM access at node when the request arrives
-// there, invoking then with the data-ready time.
-//
-//starnuma:hotpath one call per device access
+// there, invoking then with the data-ready time. Retained for the rare
+// paths; per-access coherence paths use txn programs.
 func (ts *timingSystem) memAccess(at sim.Time, node topology.NodeID, addr uint64, then func(sim.Time)) {
 	access := func(now sim.Time) {
 		done, _ := ts.ctrls[node].Access(now, addr, cache.BlockBytes)
@@ -359,8 +672,9 @@ func (ts *timingSystem) memAccess(at sim.Time, node topology.NodeID, addr uint64
 func (ts *timingSystem) start(chk Checkpoint) {
 	ts.scheduleMigrations(chk)
 	for _, cs := range ts.cores {
-		cs := cs
-		ts.eng.AtKind(0, "start", func(sim.Time) { ts.tryIssue(cs) })
+		// The bound wake event doubles as the kickoff: hasWake is false,
+		// so its body is exactly tryIssue.
+		ts.eng.AtKind(0, "start", cs.wake)
 	}
 }
 
@@ -439,7 +753,7 @@ func (ts *timingSystem) tryIssue(cs *coreState) {
 	}
 	now := ts.eng.Now()
 	for cs.outstanding < ts.mlp {
-		if cs.pending == nil {
+		if !cs.hasPending {
 			if cs.instr >= ts.cfg.TimedInstr {
 				// Budget consumed; core finishes when outstanding drain.
 				if cs.outstanding == 0 {
@@ -450,7 +764,8 @@ func (ts *timingSystem) tryIssue(cs *coreState) {
 			a := ts.gen.Next(cs.id)
 			cs.instr += uint64(a.Gap)
 			cs.compute += gapTime(a.Gap, ts.ipc0, ts.cyclePS)
-			cs.pending = &a
+			cs.pendingA = a
+			cs.hasPending = true
 			if !cs.warmupDone && cs.instr >= ts.cfg.WarmupInstr {
 				cs.warmupDone = true
 				cs.warmupTime = now
@@ -465,15 +780,12 @@ func (ts *timingSystem) tryIssue(cs *coreState) {
 			if !cs.hasWake || cs.wakeAt > cs.compute {
 				cs.hasWake = true
 				cs.wakeAt = cs.compute
-				ts.eng.AtKind(cs.compute, "wake", func(sim.Time) {
-					cs.hasWake = false
-					ts.tryIssue(cs)
-				})
+				ts.eng.AtKind(cs.compute, "wake", cs.wake)
 			}
 			return
 		}
-		a := *cs.pending
-		cs.pending = nil
+		a := cs.pendingA
+		cs.hasPending = false
 		cs.outstanding++
 		ts.issueAccess(cs, a, now, cs.warmupDone)
 	}
@@ -550,7 +862,9 @@ func (ts *timingSystem) issueAccess(cs *coreState, a workload.Access, issued sim
 	ts.issueAccessAfterWalk(cs, a, issued, record)
 }
 
-// issueAccessAfterWalk continues issueAccess past the translation stage.
+// issueAccessAfterWalk continues issueAccess past the translation stage:
+// it updates the LLC, consults the directory, and launches the
+// transaction programs that model the resulting traffic.
 //
 //starnuma:hotpath continuation of issueAccess after the TLB verdict
 func (ts *timingSystem) issueAccessAfterWalk(cs *coreState, a workload.Access, issued sim.Time, record bool) {
@@ -584,20 +898,25 @@ func (ts *timingSystem) issueAccessAfterWalk(cs *coreState, a workload.Access, i
 				vHome = ts.pageHome[victimPage]
 			}
 			// Fire-and-forget writeback of the dirty line.
-			ts.sendPath(now, socket, vHome, ts.sys.DataBytes, func(sim.Time) {})
+			wb := ts.getTxn()
+			wb.at = now
+			wb.sendStep(socket, vHome, ts.sys.DataBytes)
+			wb.run(now)
 		}
 	}
 
 	homeIsPool := ts.topo.HasPool() && home == ts.topo.PoolNode()
 	res := ts.dir.Access(socket, block, a.Write, homeIsPool)
 
-	// Invalidations: state updates immediate, traffic asynchronous.
+	// Invalidations: state updates immediate, traffic asynchronous
+	// (request out, acknowledgement back).
 	for _, tgt := range res.Invalidate {
 		ts.llcs[tgt].Invalidate(block)
-		tgt := tgt
-		ts.sendPath(now, home, tgt, ts.sys.MessageBytes, func(arr sim.Time) {
-			ts.sendPath(arr, tgt, home, ts.sys.MessageBytes, func(sim.Time) {})
-		})
+		inv := ts.getTxn()
+		inv.at = now
+		inv.sendStep(home, tgt, ts.sys.MessageBytes)
+		inv.sendStep(tgt, home, ts.sys.MessageBytes)
+		inv.run(now)
 	}
 	// A write with a remote dirty owner is an RFO: the transfer itself
 	// invalidates the owner's copy (no extra message needed).
@@ -611,96 +930,66 @@ func (ts *timingSystem) issueAccessAfterWalk(cs *coreState, a workload.Access, i
 		if ts.annexCount[cs.socket]%annexFlushBatch == 0 {
 			region := int(a.Page) / ts.cfg.RegionPages
 			metaNode := topology.NodeID(region % ts.topo.Sockets())
-			ts.sendPath(now, socket, metaNode, ts.sys.DataBytes, func(arr sim.Time) {
-				ts.memAccess(arr, metaNode, addr, func(sim.Time) {})
-			})
+			ax := ts.getTxn()
+			ax.at = now
+			ax.addr = addr
+			ax.sendStep(socket, metaNode, ts.sys.DataBytes)
+			ax.memStep(metaNode)
+			ax.run(now)
 		}
 	}
 
-	complete := func(done sim.Time, at stats.AccessType) {
-		fin := func(now2 sim.Time) {
-			if record {
-				ts.w.amat.Observe(at, now2-issued)
-				ts.w.misses++
-			}
-			if ts.txnTrc != nil {
-				ts.txnTrc.Record(issued, now2-issued, ts.lanes[socket], socket, home, res)
-			}
-			// Charge the miss's latency, divided by the core's MLP, as
-			// serial stall on the core timeline: the standard additive
-			// overlap model (1/IPC = 1/IPC₀ + missRate × L/MLP), which is
-			// also what ZeroLoadIPC inverts.
-			cs.compute += (now2 - issued) / sim.Time(ts.mlp)
-			cs.outstanding--
-			ts.tryIssue(cs)
-		}
-		if done > ts.eng.Now() {
-			ts.eng.AtKind(done, "complete", fin)
-		} else {
-			fin(ts.eng.Now())
-		}
-	}
-
+	// The demand access itself.
+	t := ts.getTxn()
+	t.at = now
+	t.addr = addr
+	t.cs = cs
+	t.issued = issued
+	t.record = record
+	t.socket, t.home = socket, home
+	t.res = res
 	switch res.Outcome {
 	case coherence.Memory:
-		at := ts.classify(socket, home)
-		if home == socket {
-			ts.memAccess(now, home, addr, func(done sim.Time) { complete(done, at) })
-			return
+		t.acc = ts.classify(socket, home)
+		if home != socket {
+			t.sendStep(socket, home, ts.sys.MessageBytes)
 		}
-		ts.sendPath(now, socket, home, ts.sys.MessageBytes, func(arr sim.Time) {
-			ts.memAccess(arr, home, addr, func(ready sim.Time) {
-				ts.sendPath(ready, home, socket, ts.sys.DataBytes, func(done sim.Time) {
-					complete(done, at)
-				})
-			})
-		})
+		t.memStep(home)
+		if home != socket {
+			t.sendStep(home, socket, ts.sys.DataBytes)
+		}
+		t.doneStep()
 	case coherence.BlockTransfer3Hop:
 		// R→H request, directory+memory access at H, H→O forward, O→R
 		// data (Fig. 4's red path).
-		owner := res.Owner
-		ts.sendPath(now, socket, home, ts.sys.MessageBytes, func(arr sim.Time) {
-			ts.memAccess(arr, home, addr, func(ready sim.Time) {
-				ts.sendPath(ready, home, owner, ts.sys.MessageBytes, func(fwd sim.Time) {
-					ts.sendPath(fwd, owner, socket, ts.sys.DataBytes, func(done sim.Time) {
-						complete(done, stats.BTSocket)
-					})
-				})
-			})
-		})
+		t.acc = stats.BTSocket
+		t.sendStep(socket, home, ts.sys.MessageBytes)
+		t.memStep(home)
+		t.sendStep(home, res.Owner, ts.sys.MessageBytes)
+		t.sendStep(res.Owner, socket, ts.sys.DataBytes)
+		t.doneStep()
 	case coherence.BlockTransfer4Hop:
-		owner := res.Owner
 		poolN := ts.topo.PoolNode()
+		t.sendStep(socket, poolN, ts.sys.MessageBytes)
+		t.memStep(poolN)
+		t.sendStep(poolN, res.Owner, ts.sys.MessageBytes)
 		if ts.cfg.ForceDirectBT {
 			// Ablation: direct owner→requester transfer despite the pool
 			// home — the path Fig. 4 shows to be slower on average.
-			ts.sendPath(now, socket, poolN, ts.sys.MessageBytes, func(arr sim.Time) {
-				ts.memAccess(arr, poolN, addr, func(ready sim.Time) {
-					ts.sendPath(ready, poolN, owner, ts.sys.MessageBytes, func(fwd sim.Time) {
-						ts.sendPath(fwd, owner, socket, ts.sys.DataBytes, func(done sim.Time) {
-							complete(done, stats.BTSocket)
-						})
-					})
-				})
-			})
-			return
+			t.acc = stats.BTSocket
+			t.sendStep(res.Owner, socket, ts.sys.DataBytes)
+		} else {
+			// R→H(pool), directory at pool, H→O forward, O→H data, H→R
+			// data (Fig. 4's blue path).
+			t.acc = stats.BTPool
+			t.sendStep(res.Owner, poolN, ts.sys.DataBytes)
+			t.sendStep(poolN, socket, ts.sys.DataBytes)
 		}
-		// R→H(pool), directory at pool, H→O forward, O→H data, H→R data
-		// (Fig. 4's blue path).
-		ts.sendPath(now, socket, poolN, ts.sys.MessageBytes, func(arr sim.Time) {
-			ts.memAccess(arr, poolN, addr, func(ready sim.Time) {
-				ts.sendPath(ready, poolN, owner, ts.sys.MessageBytes, func(fwd sim.Time) {
-					ts.sendPath(fwd, owner, poolN, ts.sys.DataBytes, func(back sim.Time) {
-						ts.sendPath(back, poolN, socket, ts.sys.DataBytes, func(done sim.Time) {
-							complete(done, stats.BTPool)
-						})
-					})
-				})
-			})
-		})
+		t.doneStep()
 	default:
 		unknownOutcomePanic(res.Outcome)
 	}
+	t.run(now)
 }
 
 // unknownOutcomePanic reports an unhandled coherence outcome. Split out
@@ -794,12 +1083,24 @@ func unfinishedPanic(running, phase int) {
 	panic(fmt.Sprintf("core: %d cores never finished window (phase %d)", running, phase))
 }
 
+// phaseBudgeter is the optional AccessSource extension that lets window
+// runs declare the per-core instruction budget of a phase up front, so
+// the source can record the phase's miss stream once and replay it for
+// every later window of the same phase (workload.Generator implements
+// it). Sources without it are simply drawn from directly.
+type phaseBudgeter interface {
+	SetPhaseBudget(budget uint64)
+}
+
 // runWindow executes one checkpoint's timing simulation.
 //
 //starnuma:hotpath the step-C window timing simulation
 func runWindow(sys SystemConfig, cfg SimConfig, gen AccessSource,
 	chk Checkpoint, replicated []bool) windowStats {
-	ts := newTimingSystem(sys, cfg, gen, chk, replicated)
+	if pb, ok := gen.(phaseBudgeter); ok {
+		pb.SetPhaseBudget(cfg.PhaseInstr)
+	}
+	ts := acquireTimingSystem(sys, cfg, gen, chk, replicated)
 	gen.ResetPhase(chk.Phase)
 	ts.start(chk)
 	ts.eng.Run()
@@ -832,5 +1133,7 @@ func runWindow(sys SystemConfig, cfg SimConfig, gen AccessSource,
 			evtrace.Arg{Key: "phase", Val: strconv.Itoa(chk.Phase)},
 			evtrace.Arg{Key: "migrations", Val: strconv.Itoa(ts.w.migrModeled)})
 	}
-	return ts.w
+	w := ts.w
+	releaseTimingSystem(ts)
+	return w
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"starnuma/internal/fault"
 	"starnuma/internal/sim"
 )
 
@@ -200,5 +201,57 @@ func TestMD1HighUtilisation(t *testing.T) {
 	expected := rho * serviceNS / (2 * (1 - rho)) // 108ns at ρ=0.9
 	if measured < expected*0.8 || measured > expected*1.2 {
 		t.Fatalf("M/D/1 wait at ρ=0.9 = %.2fns, theory %.2fns", measured, expected)
+	}
+}
+
+func TestSendBatchMatchesSequentialSends(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		warm  bool // pre-load the wire so the batch queues
+		bytes int
+		count int
+	}{
+		{"cold", false, 64, 64},
+		{"queued", true, 64, 64},
+		{"single", false, 4096, 1},
+		{"zero-bytes", false, 0, 16},
+	} {
+		seq := New("seq", 6, 50*sim.Nanosecond)
+		bat := New("bat", 6, 50*sim.Nanosecond)
+		now := sim.Time(1000)
+		if tc.warm {
+			seq.Send(0, 100000)
+			bat.Send(0, 100000)
+		}
+		var want []sim.Time
+		for i := 0; i < tc.count; i++ {
+			d, _ := seq.Send(now, tc.bytes)
+			want = append(want, d)
+		}
+		first, step, ok := bat.SendBatch(now, tc.bytes, tc.count)
+		if !ok {
+			t.Fatalf("%s: SendBatch refused without an injector", tc.name)
+		}
+		for i, w := range want {
+			if got := first + sim.Time(i)*step; got != w {
+				t.Fatalf("%s: message %d delivered at %v, sequential %v", tc.name, i, got, w)
+			}
+		}
+		ss, bs := seq.Stats(), bat.Stats()
+		ss.Name, bs.Name = "", ""
+		if ss != bs {
+			t.Fatalf("%s: batch stats %+v, sequential %+v", tc.name, bs, ss)
+		}
+	}
+}
+
+func TestSendBatchRefusesFaultedLink(t *testing.T) {
+	l := New("faulted", 6, sim.Nanosecond)
+	l.SetFault(&fault.Injector{})
+	if _, _, ok := l.SendBatch(0, 64, 4); ok {
+		t.Fatal("SendBatch accepted a link with a fault injector")
+	}
+	if l.Stats().Messages != 0 {
+		t.Fatal("refused batch still charged the link")
 	}
 }

@@ -1,0 +1,71 @@
+package suite
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"starnuma/internal/lint/analysis"
+)
+
+// minPkgDocLen rejects placeholder docs ("Package x does x."): a
+// package bound by the determinism contract owes the reader what it
+// models and what the contract demands of it, which does not fit in
+// one clause.
+const minPkgDocLen = 120
+
+// TestEveryHotPackageDocumented gates package-level godoc for every
+// package in analysis.SimPackages — the set starnumavet holds to the
+// determinism contract, which is exactly the set a reader debugging a
+// nondeterministic or slow window has to navigate. Each must carry a
+// substantive package comment (on any one non-test file) so `go doc`
+// explains its role in the step-A/B/C pipeline before anyone reads
+// code.
+func TestEveryHotPackageDocumented(t *testing.T) {
+	root := filepath.Join("..", "..", "..")
+	for _, imp := range analysis.SimPackages {
+		rel, ok := strings.CutPrefix(imp, "starnuma/")
+		if !ok {
+			t.Errorf("SimPackages entry %q does not start with the module path", imp)
+			continue
+		}
+		dir := filepath.Join(root, filepath.FromSlash(rel))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Errorf("%s: listed in SimPackages but unreadable: %v", imp, err)
+			continue
+		}
+		var doc string
+		var docFiles []string
+		fset := token.NewFileSet()
+		for _, e := range entries {
+			name := e.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil,
+				parser.ParseComments|parser.PackageClauseOnly)
+			if err != nil {
+				t.Errorf("%s/%s: %v", imp, name, err)
+				continue
+			}
+			if f.Doc != nil {
+				doc = f.Doc.Text()
+				docFiles = append(docFiles, name)
+			}
+		}
+		switch {
+		case len(docFiles) == 0:
+			t.Errorf("%s has no package godoc comment on any file", imp)
+		case len(docFiles) > 1:
+			t.Errorf("%s has package godoc comments in %d files (%s); godoc concatenates them — keep one",
+				imp, len(docFiles), strings.Join(docFiles, ", "))
+		case len(doc) < minPkgDocLen:
+			t.Errorf("%s package godoc is %d chars; under %d it cannot explain the package's pipeline role (doc: %q)",
+				imp, len(doc), minPkgDocLen, doc)
+		}
+	}
+}

@@ -102,6 +102,38 @@ func (c *PageCounts) Reset() {
 	}
 }
 
+// PageCountsState is a snapshot of a PageCounts, immutable once taken:
+// SaveState copies out and LoadState copies in, so one state may be
+// loaded into many counters.
+type PageCountsState struct {
+	counts []uint32
+	writes []uint32
+}
+
+// Bytes returns the snapshot's approximate heap footprint, for
+// size-bounded caches.
+func (st *PageCountsState) Bytes() int64 {
+	return int64(len(st.counts))*4 + int64(len(st.writes))*4
+}
+
+// SaveState captures the counters' current values.
+func (c *PageCounts) SaveState() *PageCountsState {
+	return &PageCountsState{
+		counts: append([]uint32(nil), c.counts...),
+		writes: append([]uint32(nil), c.writes...),
+	}
+}
+
+// LoadState overwrites the counters with a snapshot taken from a
+// PageCounts of the same shape. It panics on a shape mismatch.
+func (c *PageCounts) LoadState(st *PageCountsState) {
+	if len(st.counts) != len(c.counts) || len(st.writes) != len(c.writes) {
+		panic("migrate: LoadState shape mismatch")
+	}
+	copy(c.counts, st.counts)
+	copy(c.writes, st.writes)
+}
+
 // AddInto accumulates this phase's counts into dst (whole-run totals for
 // the static oracle).
 func (c *PageCounts) AddInto(dst *PageCounts) {

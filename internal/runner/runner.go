@@ -171,8 +171,12 @@ func (r *Runner) compute(label string, sys core.SystemConfig, cfg core.SimConfig
 		return nil, err
 	}
 	sockets := topology.New(sys.Topology).Sockets()
+	// Generators come from the workload pool: their drift tables and
+	// recorded phase streams are expensive to rebuild, and every window
+	// of a run draws the identical streams regardless of which pooled
+	// instance serves it.
 	newGen := func() (*workload.Generator, error) {
-		return workload.NewGenerator(spec, sockets, sys.CoresPerSocket)
+		return workload.AcquireGenerator(spec, sockets, sys.CoresPerSocket)
 	}
 
 	// Step B occupies one worker slot.
@@ -182,6 +186,7 @@ func (r *Runner) compute(label string, sys core.SystemConfig, cfg core.SimConfig
 		if err != nil {
 			return nil, err
 		}
+		defer workload.ReleaseGenerator(gen)
 		return core.NewPlan(sys, cfg, gen)
 	}()
 	r.release()
@@ -213,6 +218,7 @@ func (r *Runner) compute(label string, sys core.SystemConfig, cfg core.SimConfig
 				return
 			}
 			windows[i] = plan.RunWindow(i, gen)
+			workload.ReleaseGenerator(gen)
 			r.windowsDone.Add(1)
 			r.rep.JobDone(winfo, time.Since(t0), false)
 		}(i)

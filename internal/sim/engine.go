@@ -44,68 +44,6 @@ type scheduled struct {
 	fn  Event
 }
 
-// eventQueue is a binary min-heap of scheduled events ordered by
-// (at, seq). It is hand-rolled rather than built on container/heap:
-// heap.Push/Pop traffic in interface{} and would box one scheduled
-// struct per event — a heap allocation on the hottest loop in the
-// simulator. The ordering key is a total order (seq is unique), so the
-// pop sequence — and therefore every simulation result — is identical
-// to the container/heap implementation this replaces.
-type eventQueue []scheduled
-
-func (q eventQueue) less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-//starnuma:hotpath called once per scheduled event
-func (q *eventQueue) push(it scheduled) {
-	//starnumavet:allow hotalloc amortized queue growth; capacity is retained across the whole run
-	*q = append(*q, it)
-	// Sift the new tail up to its place.
-	h := *q
-	i := len(h) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.less(i, parent) {
-			break
-		}
-		h[i], h[parent] = h[parent], h[i]
-		i = parent
-	}
-}
-
-//starnuma:hotpath called once per dispatched event
-func (q *eventQueue) pop() scheduled {
-	h := *q
-	top := h[0]
-	n := len(h) - 1
-	h[0] = h[n]
-	h[n] = scheduled{} // drop the closure reference so finished events can be collected
-	h = h[:n]
-	*q = h
-	// Sift the relocated root down to its place.
-	i := 0
-	for {
-		l := 2*i + 1
-		if l >= n {
-			break
-		}
-		min := l
-		if r := l + 1; r < n && h.less(r, l) {
-			min = r
-		}
-		if !h.less(min, i) {
-			break
-		}
-		h[i], h[min] = h[min], h[i]
-		i = min
-	}
-	return top
-}
-
 // Engine is a single-threaded discrete-event scheduler.
 //
 // The zero value is ready to use. Engine is not safe for concurrent use;
@@ -131,7 +69,22 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending reports how many events are waiting in the queue.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.queue.size }
+
+// Reset rewinds the engine to a fresh state — clock at zero, counters
+// cleared, any still-queued events dropped, metrics detached — while
+// retaining the event queue's allocated capacity. It exists so one
+// engine can be reused across timing windows instead of reallocating
+// its wheel per window (internal/core's window scratch).
+func (e *Engine) Reset() {
+	e.now = 0
+	e.seq = 0
+	e.fired = 0
+	e.halted = false
+	e.maxPending = 0
+	e.met = nil
+	e.queue.reset()
+}
 
 // MaxPending reports the queue-depth high-water mark.
 func (e *Engine) MaxPending() int { return e.maxPending }
@@ -162,8 +115,8 @@ func (e *Engine) AtKind(at Time, kind string, fn Event) {
 	}
 	e.seq++
 	e.queue.push(scheduled{at: at, seq: e.seq, fn: fn})
-	if len(e.queue) > e.maxPending {
-		e.maxPending = len(e.queue)
+	if e.queue.size > e.maxPending {
+		e.maxPending = e.queue.size
 	}
 	if e.met != nil {
 		e.met.Add("sim/events/"+kind, 1)
@@ -202,14 +155,14 @@ func (e *Engine) Halt() { e.halted = true }
 //
 //starnuma:hotpath
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if e.queue.size == 0 {
 		return false
 	}
 	it := e.queue.pop()
 	e.now = it.at
 	e.fired++
 	if e.met != nil {
-		e.met.Observe("sim/queue_depth", int64(len(e.queue)))
+		e.met.Observe("sim/queue_depth", int64(e.queue.size))
 	}
 	it.fn(e.now)
 	return true
@@ -232,7 +185,7 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(deadline Time) {
 	e.halted = false
 	for !e.halted {
-		if len(e.queue) == 0 || e.queue[0].at > deadline {
+		if e.queue.size == 0 || e.queue.peekAt() > deadline {
 			break
 		}
 		e.Step()

@@ -1,0 +1,243 @@
+package sim
+
+import "math/bits"
+
+// The event queue is a bucketed timing wheel with a far-future heap
+// fallback — the classic calendar-queue design, specialised for the
+// simulator's dense-timestamp common case. Most scheduled events land
+// within a couple of microseconds of the clock (link hops, DRAM
+// accesses, compute wakes), so O(log n) heap sifting per event is
+// replaced by O(1) bucket appends plus a bitmap scan per pop. Events
+// beyond the wheel's horizon (sparse horizons: migration kick-offs,
+// replica-write penalties) overflow into a min-heap and are drained
+// into the wheel as the clock approaches them.
+//
+// Determinism: pop returns the global minimum under the (at, seq) total
+// order. seq is unique, so the pop sequence — and therefore every
+// simulation result — is bit-identical to the binary-heap
+// implementation this replaces. The differential test in queue_test.go
+// pins exactly that property.
+const (
+	// bucketShift sets the bucket width: 1<<8 ps = 256ps, around one
+	// core cycle — fine enough that same-bucket scans (linear per pop)
+	// stay at a handful of events even under heavy link contention.
+	bucketShift = 8
+	// bucketCount spans 8192 buckets ≈ 2.1µs of horizon, comfortably
+	// past link/DRAM latencies (~80–600ns deltas).
+	bucketCount = 8192
+	bucketMask  = bucketCount - 1
+	occWords    = bucketCount / 64
+	wheelSpan   = Time(bucketCount << bucketShift)
+)
+
+// eventQueue is the calendar queue: a ring of time buckets with an
+// occupancy bitmap, plus the far-future overflow heap. The zero value
+// is ready to use (buckets allocate lazily on first push).
+type eventQueue struct {
+	size    int // total events queued (wheel + far)
+	inWheel int
+
+	buckets [][]scheduled // len bucketCount once initialised
+	occ     [occWords]uint64
+	base    Time // start time of the bucket at baseIdx
+	baseIdx int
+
+	far farHeap
+}
+
+//starnuma:hotpath called once per scheduled event
+func (q *eventQueue) push(it scheduled) {
+	if q.buckets == nil {
+		q.init()
+	}
+	q.size++
+	// it.at >= engine.now >= q.base always holds: base only advances to
+	// the bucket of an event that has been popped (now = its at), and
+	// the engine rejects past scheduling.
+	if d := it.at - q.base; d < wheelSpan {
+		idx := (q.baseIdx + int(d>>bucketShift)) & bucketMask
+		//starnumavet:allow hotalloc amortized bucket growth; capacity is retained across the whole run
+		q.buckets[idx] = append(q.buckets[idx], it)
+		q.occ[idx>>6] |= 1 << uint(idx&63)
+		q.inWheel++
+		return
+	}
+	q.far.push(it)
+}
+
+//starnuma:coldpath once per engine lifetime
+func (q *eventQueue) init() {
+	q.buckets = make([][]scheduled, bucketCount)
+}
+
+// settle prepares the queue for a minimum lookup: it relocates the
+// wheel onto the far heap's top when the wheel is empty, drains
+// far-future events that the horizon has reached, and advances
+// base/baseIdx to the first occupied bucket. The queue must be
+// non-empty. Settling mutates cursor state but removes nothing, so it
+// is idempotent and shared by pop and peekAt.
+//
+//starnuma:hotpath called once per dispatched event
+func (q *eventQueue) settle() int {
+	if q.inWheel == 0 {
+		// Jump the wheel to the earliest far event's bucket; the drain
+		// below moves it (and any horizon-mates) in.
+		q.base = q.far[0].at &^ (1<<bucketShift - 1)
+	}
+	for len(q.far) > 0 && q.far[0].at-q.base < wheelSpan {
+		it := q.far.pop()
+		idx := (q.baseIdx + int((it.at-q.base)>>bucketShift)) & bucketMask
+		//starnumavet:allow hotalloc amortized bucket growth on far-heap drain
+		q.buckets[idx] = append(q.buckets[idx], it)
+		q.occ[idx>>6] |= 1 << uint(idx&63)
+		q.inWheel++
+	}
+	idx := q.nextOccupied()
+	if steps := (idx - q.baseIdx) & bucketMask; steps != 0 {
+		q.base += Time(steps << bucketShift)
+		q.baseIdx = idx
+	}
+	return idx
+}
+
+// nextOccupied scans the occupancy bitmap cyclically from baseIdx for
+// the first non-empty bucket. At least one bucket must be occupied.
+//
+//starnuma:hotpath bitmap scan per dispatched event
+func (q *eventQueue) nextOccupied() int {
+	w := q.baseIdx >> 6
+	word := q.occ[w] &^ (1<<uint(q.baseIdx&63) - 1) // mask bits below baseIdx
+	for i := 0; i <= occWords; i++ {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+		w = (w + 1) & (occWords - 1)
+		word = q.occ[w]
+	}
+	panic("sim: nextOccupied on empty wheel")
+}
+
+// pop removes and returns the event that is minimal under (at, seq).
+// The queue must be non-empty.
+//
+//starnuma:hotpath called once per dispatched event
+func (q *eventQueue) pop() scheduled {
+	idx := q.settle()
+	b := q.buckets[idx]
+	best := 0
+	for i := 1; i < len(b); i++ {
+		if b[i].at < b[best].at || (b[i].at == b[best].at && b[i].seq < b[best].seq) {
+			best = i
+		}
+	}
+	it := b[best]
+	last := len(b) - 1
+	b[best] = b[last]
+	b[last] = scheduled{} // drop the closure reference so finished events can be collected
+	q.buckets[idx] = b[:last]
+	if last == 0 {
+		q.occ[idx>>6] &^= 1 << uint(idx&63)
+	}
+	q.inWheel--
+	q.size--
+	return it
+}
+
+// peekAt returns the timestamp of the minimal event without removing
+// it. The queue must be non-empty.
+func (q *eventQueue) peekAt() Time {
+	idx := q.settle()
+	b := q.buckets[idx]
+	at := b[0].at
+	for i := 1; i < len(b); i++ {
+		if b[i].at < at {
+			at = b[i].at
+		}
+	}
+	return at
+}
+
+// reset empties the queue (dropping any still-scheduled events and
+// their closure references) and rewinds the wheel to time zero, keeping
+// every allocated bucket's capacity for reuse.
+//
+//starnuma:coldpath once per window on engine reuse
+func (q *eventQueue) reset() {
+	if q.size != 0 {
+		for w, word := range q.occ {
+			for word != 0 {
+				idx := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				b := q.buckets[idx]
+				for i := range b {
+					b[i] = scheduled{}
+				}
+				q.buckets[idx] = b[:0]
+			}
+			q.occ[w] = 0
+		}
+		for i := range q.far {
+			q.far[i] = scheduled{}
+		}
+		q.far = q.far[:0]
+	}
+	q.size, q.inWheel = 0, 0
+	q.base, q.baseIdx = 0, 0
+}
+
+// farHeap is a binary min-heap of scheduled events ordered by
+// (at, seq), holding events beyond the wheel's horizon. It is
+// hand-rolled rather than built on container/heap: heap.Push/Pop
+// traffic in interface{} and would box one scheduled struct per event.
+type farHeap []scheduled
+
+func (h farHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+//starnuma:hotpath once per beyond-horizon event
+func (h *farHeap) push(it scheduled) {
+	//starnumavet:allow hotalloc amortized heap growth; capacity is retained across the whole run
+	*h = append(*h, it)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+//starnuma:hotpath once per beyond-horizon event
+func (h *farHeap) pop() scheduled {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = scheduled{}
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && q.less(r, l) {
+			min = r
+		}
+		if !q.less(min, i) {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	return top
+}

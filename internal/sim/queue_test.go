@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refHeap is the reference binary min-heap the wheel replaced; the
+// differential tests below pin the wheel's pop sequence to it under the
+// (at, seq) total order.
+type refHeap []scheduled
+
+func (h refHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *refHeap) push(it scheduled) {
+	*h = append(*h, it)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *refHeap) pop() scheduled {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && q.less(r, l) {
+			min = r
+		}
+		if !q.less(min, i) {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	return top
+}
+
+// TestEventQueueDifferential drives the bucketed wheel and the
+// reference heap with identical mixed push/pop traffic across many
+// seeds and checks the pop sequences agree exactly — including
+// same-timestamp ties, where seq must break the tie FIFO. Timestamps
+// mix dense (in-wheel) and sparse (far-heap) horizons, and pushes are
+// interleaved with pops at a monotonically advancing clock, mimicking
+// how the engine uses the queue.
+func TestEventQueueDifferential(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var wheel eventQueue
+		var ref refHeap
+		var seq uint64
+		now := Time(0)
+		push := func(at Time) {
+			seq++
+			it := scheduled{at: at, seq: seq}
+			wheel.push(it)
+			ref.push(it)
+		}
+		popBoth := func() {
+			w := wheel.pop()
+			r := ref.pop()
+			if w.at != r.at || w.seq != r.seq {
+				t.Fatalf("seed %d: wheel popped (at=%d seq=%d), heap popped (at=%d seq=%d)",
+					seed, w.at, w.seq, r.at, r.seq)
+			}
+			if w.at < now {
+				t.Fatalf("seed %d: time went backwards: %d < %d", seed, w.at, now)
+			}
+			now = w.at
+		}
+		for step := 0; step < 5000; step++ {
+			switch {
+			case len(ref) == 0 || rng.Intn(3) != 0:
+				var at Time
+				switch rng.Intn(10) {
+				case 0: // far beyond the wheel horizon
+					at = now + wheelSpan + Time(rng.Int63n(int64(wheelSpan)*100))
+				case 1, 2: // ties: reuse the current time exactly
+					at = now
+				default: // dense in-horizon delta
+					at = now + Time(rng.Int63n(int64(wheelSpan)-1))
+				}
+				push(at)
+			default:
+				popBoth()
+			}
+		}
+		for len(ref) > 0 {
+			popBoth()
+		}
+		if wheel.size != 0 {
+			t.Fatalf("seed %d: wheel reports %d events after drain", seed, wheel.size)
+		}
+	}
+}
+
+// TestEventQueueFIFOTiesAcrossBuckets pins the tie-break when many
+// events share one timestamp (they land in one bucket and must pop in
+// seq order), and when ties straddle the wheel/far boundary.
+func TestEventQueueFIFOTiesAcrossBuckets(t *testing.T) {
+	var q eventQueue
+	at := wheelSpan + 5 // beyond the initial horizon: all go to the far heap
+	for i := 1; i <= 100; i++ {
+		q.push(scheduled{at: at, seq: uint64(i)})
+	}
+	for i := 1; i <= 100; i++ {
+		it := q.pop()
+		if it.seq != uint64(i) {
+			t.Fatalf("tie-break violated: popped seq %d, want %d", it.seq, i)
+		}
+	}
+}
+
+// TestEventQueueResetReusesCapacity checks reset drops queued events
+// and rewinds the wheel so a reused queue behaves like a fresh one.
+func TestEventQueueResetReusesCapacity(t *testing.T) {
+	var q eventQueue
+	for i := 0; i < 500; i++ {
+		q.push(scheduled{at: Time(i * 3), seq: uint64(i + 1)})
+	}
+	q.pop()
+	q.reset()
+	if q.size != 0 {
+		t.Fatalf("size after reset = %d", q.size)
+	}
+	// The wheel must accept t=0 events again after reset.
+	q.push(scheduled{at: 0, seq: 1})
+	q.push(scheduled{at: 7, seq: 2})
+	if it := q.pop(); it.at != 0 {
+		t.Fatalf("popped at=%d after reset, want 0", it.at)
+	}
+	if it := q.pop(); it.at != 7 {
+		t.Fatalf("popped at=%d after reset, want 7", it.at)
+	}
+}
+
+// TestEngineResetBehavesLikeFresh runs the same schedule on a reused
+// and a fresh engine and requires identical firing order and clocks.
+func TestEngineResetBehavesLikeFresh(t *testing.T) {
+	run := func(e *Engine) []Time {
+		var fired []Time
+		e.At(30, func(now Time) { fired = append(fired, now) })
+		e.At(10, func(now Time) {
+			fired = append(fired, now)
+			e.After(5, func(now Time) { fired = append(fired, now) })
+		})
+		e.Run()
+		return fired
+	}
+	reused := NewEngine()
+	run(reused)
+	// Leave junk queued, then reset.
+	reused.At(99, func(Time) { t.Fatal("dropped event fired") })
+	reused.Reset()
+	if reused.Now() != 0 || reused.Pending() != 0 || reused.Fired() != 0 {
+		t.Fatalf("reset engine not fresh: now=%v pending=%d fired=%d",
+			reused.Now(), reused.Pending(), reused.Fired())
+	}
+	got := run(reused)
+	want := run(NewEngine())
+	if len(got) != len(want) {
+		t.Fatalf("reused fired %v, fresh fired %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("reused fired %v, fresh fired %v", got, want)
+		}
+	}
+}
+
+// BenchmarkEventQueuePushPop measures the steady-state cost of the
+// dense-timestamp path: push an in-horizon event, pop the minimum. The
+// AllocsPerRun pin holds the hot path alloc-free once bucket capacity
+// has been established.
+func BenchmarkEventQueuePushPop(b *testing.B) {
+	var q eventQueue
+	now := Time(0)
+	rng := rand.New(rand.NewSource(1))
+	var seq uint64
+	// Establish steady-state occupancy and bucket capacity.
+	for i := 0; i < 1024; i++ {
+		seq++
+		q.push(scheduled{at: now + Time(rng.Int63n(2000)), seq: seq})
+	}
+	if avg := testing.AllocsPerRun(10000, func() {
+		it := q.pop()
+		now = it.at
+		seq++
+		q.push(scheduled{at: now + Time(rng.Int63n(2000)), seq: seq})
+	}); avg != 0 {
+		b.Fatalf("steady-state push/pop allocates %v per op, want 0", avg)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := q.pop()
+		now = it.at
+		seq++
+		q.push(scheduled{at: now + Time(rng.Int63n(2000)), seq: seq})
+	}
+}
+
+// BenchmarkEventQueueFarHorizon measures the overflow path: every event
+// lands beyond the wheel horizon and migrates through the far heap.
+// Also pinned alloc-free at steady state.
+func BenchmarkEventQueueFarHorizon(b *testing.B) {
+	var q eventQueue
+	now := Time(0)
+	rng := rand.New(rand.NewSource(2))
+	var seq uint64
+	for i := 0; i < 256; i++ {
+		seq++
+		q.push(scheduled{at: now + wheelSpan + Time(rng.Int63n(int64(wheelSpan))), seq: seq})
+	}
+	if avg := testing.AllocsPerRun(10000, func() {
+		it := q.pop()
+		now = it.at
+		seq++
+		q.push(scheduled{at: now + wheelSpan + Time(rng.Int63n(int64(wheelSpan))), seq: seq})
+	}); avg != 0 {
+		b.Fatalf("steady-state far push/pop allocates %v per op, want 0", avg)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := q.pop()
+		now = it.at
+		seq++
+		q.push(scheduled{at: now + wheelSpan + Time(rng.Int63n(int64(wheelSpan))), seq: seq})
+	}
+}

@@ -9,7 +9,7 @@ import (
 // A page migration's shootdown reaches only the cores that cache the
 // translation (the shared TLB directory), and each repays with one walk.
 func ExampleSystem() {
-	s := tlb.NewSystem(64, tlb.DefaultConfig())
+	s := tlb.NewSystem(64, 8192, tlb.DefaultConfig())
 	s.Access(0, 42)
 	s.Access(9, 42)
 	s.Access(30, 99) // unrelated

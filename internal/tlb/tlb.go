@@ -13,6 +13,11 @@
 // Steady-state TLB behaviour is already folded into each workload's
 // measured single-socket IPC, so the timing simulation charges latency
 // only for *shootdown-induced* walks — the marginal cost migrations add.
+//
+// The directory and shootdown state are flat per-page core bitsets over
+// a bounded page space (the simulation knows its footprint), so the
+// translation hot path performs no map operations and no allocation,
+// and a timing window can Reset and reuse the whole subsystem.
 package tlb
 
 import (
@@ -56,7 +61,7 @@ type coreTLB struct {
 	entries []tlbEntry
 }
 
-func newCoreTLB(entries, ways int) *coreTLB {
+func newCoreTLB(entries, ways int) coreTLB {
 	if entries < ways {
 		ways = entries
 	}
@@ -64,7 +69,7 @@ func newCoreTLB(entries, ways int) *coreTLB {
 	for sets*2*ways <= entries {
 		sets *= 2
 	}
-	return &coreTLB{ways: ways, setMask: uint32(sets - 1), entries: make([]tlbEntry, sets*ways)}
+	return coreTLB{ways: ways, setMask: uint32(sets - 1), entries: make([]tlbEntry, sets*ways)}
 }
 
 func (t *coreTLB) set(page uint32) []tlbEntry {
@@ -132,16 +137,19 @@ type Stats struct {
 }
 
 // System is the full translation subsystem: per-core TLBs plus the
-// shared directory.
+// shared directory, for page numbers in [0, pages).
 type System struct {
 	cores int
-	tlbs  []*coreTLB
-	// dir maps page -> cores caching its translation (the DiDi shared
-	// TLB directory).
-	dir map[uint32]coreSet
+	pages int
+	words int // bitset words per page row
+	tlbs  []coreTLB
+	// dir is the DiDi shared TLB directory: per-page bitsets of the
+	// cores caching the translation, flattened into one array.
+	dir []uint64
 	// shot marks (core, page) pairs whose next walk is shootdown-induced.
-	shot  map[uint32]coreSet
-	stats Stats
+	shot       []uint64
+	trackedDir int
+	stats      Stats
 }
 
 // Config sizes the per-core TLBs.
@@ -155,20 +163,63 @@ type Config struct {
 // sketch of an L2-TLB-attached annex.
 func DefaultConfig() Config { return Config{EntriesPerCore: 1536, Ways: 8} }
 
-// NewSystem builds the subsystem for the given core count.
-func NewSystem(cores int, cfg Config) *System {
-	if cores <= 0 || cfg.EntriesPerCore <= 0 || cfg.Ways <= 0 {
-		panic(fmt.Sprintf("tlb: invalid config cores=%d %+v", cores, cfg))
+// NewSystem builds the subsystem for the given core count and page
+// space (page numbers must stay below pages).
+func NewSystem(cores, pages int, cfg Config) *System {
+	if cores <= 0 || pages <= 0 || cfg.EntriesPerCore <= 0 || cfg.Ways <= 0 {
+		panic(fmt.Sprintf("tlb: invalid config cores=%d pages=%d %+v", cores, pages, cfg))
 	}
+	words := (cores + 63) / 64
 	s := &System{
 		cores: cores,
-		dir:   make(map[uint32]coreSet, 1<<14),
-		shot:  make(map[uint32]coreSet),
+		pages: pages,
+		words: words,
+		dir:   make([]uint64, pages*words),
+		shot:  make([]uint64, pages*words),
 	}
 	for i := 0; i < cores; i++ {
 		s.tlbs = append(s.tlbs, newCoreTLB(cfg.EntriesPerCore, cfg.Ways))
 	}
 	return s
+}
+
+// Reset clears all translation, directory and shootdown state and the
+// counters, making the subsystem indistinguishable from a newly built
+// one while keeping its allocations.
+//
+//starnuma:coldpath once per window on scratch reuse
+func (s *System) Reset() {
+	for i := range s.dir {
+		s.dir[i] = 0
+	}
+	for i := range s.shot {
+		s.shot[i] = 0
+	}
+	for c := range s.tlbs {
+		entries := s.tlbs[c].entries
+		for i := range entries {
+			entries[i] = tlbEntry{}
+		}
+	}
+	s.trackedDir = 0
+	s.stats = Stats{}
+}
+
+// dirRow returns page's directory bitset.
+func (s *System) dirRow(page uint32) coreSet {
+	i := int(page) * s.words
+	return coreSet(s.dir[i : i+s.words])
+}
+
+// shotRow returns page's pending-shootdown bitset.
+func (s *System) shotRow(page uint32) coreSet {
+	i := int(page) * s.words
+	return coreSet(s.shot[i : i+s.words])
+}
+
+//starnuma:coldpath out-of-range pages are a caller bug
+func pagePanic(page uint32, pages int) {
+	panic(fmt.Sprintf("tlb: page %d outside configured space of %d pages", page, pages))
 }
 
 // Access runs core's translation of page. It returns whether the access
@@ -177,16 +228,16 @@ func NewSystem(cores int, cfg Config) *System {
 //
 //starnuma:hotpath one call per memory access (step C)
 func (s *System) Access(core int, page uint32) (walk, shootdownInduced bool) {
+	if int(page) >= s.pages {
+		pagePanic(page, s.pages)
+	}
 	if s.tlbs[core].lookup(page) {
 		s.stats.Hits++
 		return false, false
 	}
 	s.stats.Walks++
-	if set, ok := s.shot[page]; ok && set.has(core) {
-		set.clear(core)
-		if set.empty() {
-			delete(s.shot, page)
-		}
+	if row := s.shotRow(page); row.has(core) {
+		row.clear(core)
 		shootdownInduced = true
 		s.stats.ShootdownWalks++
 	}
@@ -197,33 +248,33 @@ func (s *System) Access(core int, page uint32) (walk, shootdownInduced bool) {
 	return true, shootdownInduced
 }
 
+//starnuma:hotpath per walk
 func (s *System) dirAdd(page uint32, core int) {
-	set, ok := s.dir[page]
-	if !ok {
-		set = newCoreSet(s.cores)
-		s.dir[page] = set
+	row := s.dirRow(page)
+	if row.empty() {
+		s.trackedDir++
 	}
-	set.set(core)
+	row.set(core)
 }
 
+//starnuma:hotpath per TLB eviction
 func (s *System) dirRemove(page uint32, core int) {
-	set, ok := s.dir[page]
-	if !ok {
+	row := s.dirRow(page)
+	if !row.has(core) {
 		return
 	}
-	set.clear(core)
-	if set.empty() {
-		delete(s.dir, page)
+	row.clear(core)
+	if row.empty() {
+		s.trackedDir--
 	}
 }
 
 // Sharers returns how many cores currently cache page's translation.
 func (s *System) Sharers(page uint32) int {
-	set, ok := s.dir[page]
-	if !ok {
+	if int(page) >= s.pages {
 		return 0
 	}
-	return set.count()
+	return s.dirRow(page).count()
 }
 
 // Shootdown invalidates page's translation everywhere it is cached,
@@ -232,24 +283,29 @@ func (s *System) Sharers(page uint32) int {
 //
 //starnuma:hotpath one call per migration-invalidated page
 func (s *System) Shootdown(page uint32) int {
+	if int(page) >= s.pages {
+		pagePanic(page, s.pages)
+	}
 	s.stats.Shootdowns++
-	set, ok := s.dir[page]
-	if !ok {
-		return 0
-	}
+	row := s.dirRow(page)
 	notified := 0
-	shotSet := newCoreSet(s.cores)
-	for c := 0; c < s.cores; c++ {
-		if !set.has(c) {
-			continue
+	for w, word := range row {
+		for word != 0 {
+			c := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			s.tlbs[c].invalidate(page)
+			notified++
 		}
-		s.tlbs[c].invalidate(page)
-		shotSet.set(c)
-		notified++
 	}
-	delete(s.dir, page)
 	if notified > 0 {
-		s.shot[page] = shotSet
+		// The pending-shootdown set is *replaced*: a stale pending bit
+		// belongs to a core that has not re-walked since the previous
+		// shootdown of this page, and the new round's set supersedes it.
+		copy(s.shotRow(page), row)
+		for w := range row {
+			row[w] = 0
+		}
+		s.trackedDir--
 	}
 	s.stats.ShootdownTargets += uint64(notified)
 	return notified
@@ -259,4 +315,4 @@ func (s *System) Shootdown(page uint32) int {
 func (s *System) Stats() Stats { return s.stats }
 
 // TrackedPages returns the number of pages with live directory state.
-func (s *System) TrackedPages() int { return len(s.dir) }
+func (s *System) TrackedPages() int { return s.trackedDir }

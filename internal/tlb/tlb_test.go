@@ -30,7 +30,7 @@ func TestCoreSet(t *testing.T) {
 }
 
 func TestAccessHitMiss(t *testing.T) {
-	s := NewSystem(4, DefaultConfig())
+	s := NewSystem(4, 1024, DefaultConfig())
 	walk, shot := s.Access(0, 100)
 	if !walk || shot {
 		t.Fatalf("first access: walk=%v shot=%v", walk, shot)
@@ -46,7 +46,7 @@ func TestAccessHitMiss(t *testing.T) {
 }
 
 func TestDirectoryTracksSharers(t *testing.T) {
-	s := NewSystem(8, DefaultConfig())
+	s := NewSystem(8, 1024, DefaultConfig())
 	s.Access(0, 42)
 	s.Access(3, 42)
 	s.Access(7, 42)
@@ -62,7 +62,7 @@ func TestDirectoryTracksSharers(t *testing.T) {
 }
 
 func TestShootdownTargetsOnlyCachingCores(t *testing.T) {
-	s := NewSystem(8, DefaultConfig())
+	s := NewSystem(8, 1024, DefaultConfig())
 	s.Access(1, 42)
 	s.Access(5, 42)
 	s.Access(2, 99) // unrelated page
@@ -83,14 +83,14 @@ func TestShootdownTargetsOnlyCachingCores(t *testing.T) {
 }
 
 func TestShootdownOfUncachedPage(t *testing.T) {
-	s := NewSystem(4, DefaultConfig())
+	s := NewSystem(4, 1024, DefaultConfig())
 	if n := s.Shootdown(7); n != 0 {
 		t.Fatalf("notified %d cores for uncached page", n)
 	}
 }
 
 func TestShootdownInducedWalkChargedOnce(t *testing.T) {
-	s := NewSystem(4, DefaultConfig())
+	s := NewSystem(4, 1024, DefaultConfig())
 	s.Access(1, 42)
 	s.Shootdown(42)
 	walk, shot := s.Access(1, 42)
@@ -111,7 +111,7 @@ func TestShootdownInducedWalkChargedOnce(t *testing.T) {
 
 func TestEvictionRemovesFromDirectory(t *testing.T) {
 	cfg := Config{EntriesPerCore: 4, Ways: 2} // tiny TLB forces evictions
-	s := NewSystem(1, cfg)
+	s := NewSystem(1, 1024, cfg)
 	for p := uint32(0); p < 64; p++ {
 		s.Access(0, p)
 	}
@@ -123,7 +123,7 @@ func TestEvictionRemovesFromDirectory(t *testing.T) {
 
 func TestLRUWithinTLB(t *testing.T) {
 	cfg := Config{EntriesPerCore: 2, Ways: 2} // one set, 2 ways
-	s := NewSystem(1, cfg)
+	s := NewSystem(1, 1024, cfg)
 	s.Access(0, 1)
 	s.Access(0, 2)
 	s.Access(0, 1) // promote 1
@@ -138,9 +138,9 @@ func TestLRUWithinTLB(t *testing.T) {
 
 func TestInvalidConfigPanics(t *testing.T) {
 	for _, f := range []func(){
-		func() { NewSystem(0, DefaultConfig()) },
-		func() { NewSystem(4, Config{EntriesPerCore: 0, Ways: 1}) },
-		func() { NewSystem(4, Config{EntriesPerCore: 16, Ways: 0}) },
+		func() { NewSystem(0, 1024, DefaultConfig()) },
+		func() { NewSystem(4, 1024, Config{EntriesPerCore: 0, Ways: 1}) },
+		func() { NewSystem(4, 1024, Config{EntriesPerCore: 16, Ways: 0}) },
 	} {
 		func() {
 			defer func() {
@@ -158,7 +158,7 @@ func TestInvalidConfigPanics(t *testing.T) {
 // access (not an eviction or shootdown).
 func TestDirectoryConsistencyProperty(t *testing.T) {
 	f := func(ops []uint16) bool {
-		s := NewSystem(4, Config{EntriesPerCore: 8, Ways: 2})
+		s := NewSystem(4, 1024, Config{EntriesPerCore: 8, Ways: 2})
 		for _, op := range ops {
 			core := int(op % 4)
 			page := uint32(op/4) % 16
@@ -184,14 +184,14 @@ func TestDirectoryConsistencyProperty(t *testing.T) {
 }
 
 func BenchmarkAccess(b *testing.B) {
-	s := NewSystem(64, DefaultConfig())
+	s := NewSystem(64, 8192, DefaultConfig())
 	for i := 0; i < b.N; i++ {
 		s.Access(i%64, uint32(i%8192))
 	}
 }
 
 func BenchmarkShootdown(b *testing.B) {
-	s := NewSystem(64, DefaultConfig())
+	s := NewSystem(64, 8192, DefaultConfig())
 	for i := 0; i < 8192; i++ {
 		s.Access(i%64, uint32(i%8192))
 	}

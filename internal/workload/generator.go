@@ -38,11 +38,22 @@ type Generator struct {
 	classCum [][]float64
 	classIdx [][]int
 
-	rngs []*splitmix64 // one stream per core
+	rngs []splitmix64 // one stream per core, reseeded in place per phase
+
+	// meanGap caches spec.MeanGap() off the draw path.
+	meanGap float64
 
 	// phase is the current phase; it participates in sharer-set hashing
 	// for drifting chunks (Spec.DriftFrac).
 	phase int
+
+	// Stream replay state (see stream.go). With a non-zero budget,
+	// ResetPhase binds stream to the recorded phase stream and Next
+	// replays it via per-core cursors instead of drawing.
+	budget uint64
+	sig    string
+	stream *phaseStream
+	cursor []int32
 }
 
 // NewGenerator builds a generator for spec on a system of
@@ -64,7 +75,8 @@ func NewGenerator(spec Spec, sockets, coresPerSocket int) (*Generator, error) {
 		spec:           spec,
 		sockets:        sockets,
 		coresPerSocket: coresPerSocket,
-		rngs:           make([]*splitmix64, sockets*coresPerSocket),
+		rngs:           make([]splitmix64, sockets*coresPerSocket),
+		meanGap:        spec.MeanGap(),
 	}
 	g.assignPages()
 	g.buildClassWeights()
@@ -310,7 +322,12 @@ func (g *Generator) ResetPhase(phase int) {
 		g.buildClassWeights()
 	}
 	for core := range g.rngs {
-		g.rngs[core] = newSplitmix(mix(g.spec.Seed, uint64(core)+1, uint64(phase)+1))
+		g.rngs[core] = splitmix64{state: mix(g.spec.Seed, uint64(core)+1, uint64(phase)+1)}
+	}
+	if g.budget > 0 {
+		g.loadStream(phase)
+	} else {
+		g.stream = nil
 	}
 }
 
@@ -318,25 +335,48 @@ func (g *Generator) ResetPhase(phase int) {
 // cannot stall a phase.
 const maxGap = 1 << 16
 
-// Next returns core's next LLC miss.
+// Next returns core's next LLC miss: a pure array read when a recorded
+// phase stream is bound (see SetPhaseBudget), a fresh draw otherwise.
+// Both paths yield bit-identical streams — replay is a recording of the
+// very draws generate would make.
+//
+//starnuma:hotpath one call per simulated LLC miss, in both step B and step C
 func (g *Generator) Next(core int) Access {
-	rng := g.rngs[core]
+	if s := g.stream; s != nil {
+		i := g.cursor[core]
+		if i >= s.off[core+1] {
+			streamOverrun(core)
+		}
+		g.cursor[core] = i + 1
+		return Access{Gap: s.gaps[i], Page: s.pages[i], Block: s.blocks[i], Write: s.writes[i]}
+	}
+	return g.generate(core)
+}
+
+// generate draws core's next LLC miss from its RNG stream.
+//
+//starnuma:hotpath draw path when no stream is bound, and stream recording
+func (g *Generator) generate(core int) Access {
+	rng := &g.rngs[core]
 	socket := g.SocketOf(core)
 
 	// Exponential inter-miss gap with the spec's mean, at least one
 	// instruction.
 	u := rng.float64v()
-	gap := uint32(-g.spec.MeanGap()*math.Log(1-u)) + 1
+	gap := uint32(-g.meanGap*math.Log(1-u)) + 1
 	if gap > maxGap {
 		gap = maxGap
 	}
 
-	// Class choice by per-socket cumulative access weight.
+	// Class choice by per-socket cumulative access weight: the first
+	// class whose cumulative weight reaches x (clamped to the last class
+	// for x beyond the normalized sum, as rounding allows). Class lists
+	// are short (≤ ~6), so a linear scan beats binary search.
 	cum := g.classCum[socket]
 	x := rng.float64v()
-	lo := sort.SearchFloat64s(cum, x)
-	if lo >= len(cum) {
-		lo = len(cum) - 1
+	lo := 0
+	for lo < len(cum)-1 && cum[lo] < x {
+		lo++
 	}
 	ci := g.classIdx[socket][lo]
 

@@ -1,0 +1,253 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file implements the phase-stream cache and the generator pool —
+// the two allocation-side levers behind fast step-C windows.
+//
+// Stream cache: a core's miss stream for one phase is a pure function
+// of (spec, system shape, phase) — see the determinism contract on
+// Generator. Step B replays every phase once and step C replays each
+// phase once per timing window, so without caching the same exponential
+// draws, class searches and page picks are recomputed dozens of times.
+// When a consumer declares its per-core instruction budget
+// (SetPhaseBudget), ResetPhase records the stream once into a compact
+// struct-of-arrays buffer and every later replay is pure array reads.
+//
+// Generator pool: runner workers previously built a fresh Generator per
+// window, re-deriving page→class and page→sharer assignments each time.
+// AcquireGenerator/ReleaseGenerator recycle generators per (spec,
+// shape), and ResetPhase already rebuilds any phase-dependent drift
+// state, so a pooled generator is indistinguishable from a fresh one.
+
+// phaseStream is one phase's recorded miss stream for every core, in
+// struct-of-arrays layout: core c's accesses live at indices
+// [off[c], off[c+1]) of the four parallel arrays.
+type phaseStream struct {
+	off    []int32
+	gaps   []uint32
+	pages  []uint32
+	blocks []uint16
+	writes []bool
+}
+
+func (s *phaseStream) bytes() int64 {
+	return int64(len(s.off))*4 + int64(len(s.gaps))*4 +
+		int64(len(s.pages))*4 + int64(len(s.blocks))*2 + int64(len(s.writes))
+}
+
+// streamKey identifies one cached stream. The sig string folds in the
+// full Spec (seed, classes, drift), the system shape, and the recording
+// budget; phase is kept separate because every phase of one workload
+// shares the sig.
+type streamKey struct {
+	sig   string
+	phase int
+}
+
+// streamCacheCap bounds cached stream bytes. It must hold the whole
+// suite's working set — every (workload, shape, phase) the process
+// touches, tens of MB each — because an evicted stream is re-recorded
+// from the RNGs at full generation cost: an undersized cap turns the
+// cache into a treadmill where each experiment evicts the streams the
+// next one needs. Least-recently-used entries are dropped only past
+// this cap, which is sized for full-scale sweeps, not just the quick
+// suite.
+const streamCacheCap = 6 << 30
+
+var streamCache struct {
+	sync.Mutex
+	entries map[streamKey]*streamEntry
+	total   int64
+	tick    int64
+}
+
+type streamEntry struct {
+	s       *phaseStream
+	lastUse int64
+}
+
+// lookupStream returns the cached stream for key, or nil.
+func lookupStream(key streamKey) *phaseStream {
+	c := &streamCache
+	c.Lock()
+	defer c.Unlock()
+	e := c.entries[key]
+	if e == nil {
+		return nil
+	}
+	c.tick++
+	e.lastUse = c.tick
+	return e.s
+}
+
+// storeStream inserts s, evicting least-recently-used entries to stay
+// under the byte cap. Streams larger than the cap are simply not cached
+// (the caller keeps its reference either way).
+func storeStream(key streamKey, s *phaseStream) {
+	sz := s.bytes()
+	if sz > streamCacheCap {
+		return
+	}
+	c := &streamCache
+	c.Lock()
+	defer c.Unlock()
+	if c.entries == nil {
+		c.entries = make(map[streamKey]*streamEntry)
+	}
+	if _, dup := c.entries[key]; dup {
+		return // lost a race; keep the resident copy
+	}
+	for c.total+sz > streamCacheCap && len(c.entries) > 0 {
+		var victim streamKey
+		oldest := int64(1<<63 - 1)
+		for k, e := range c.entries {
+			if e.lastUse < oldest {
+				oldest, victim = e.lastUse, k
+			}
+		}
+		c.total -= c.entries[victim].s.bytes()
+		delete(c.entries, victim)
+	}
+	c.tick++
+	c.entries[key] = &streamEntry{s: s, lastUse: c.tick}
+	c.total += sz
+}
+
+// streamSig derives the cache signature for a generator+budget. Spec is
+// a plain value type (its only reference field is the Classes slice of
+// scalar structs), so the %+v rendering is a faithful identity.
+func streamSig(spec Spec, sockets, coresPerSocket int, budget uint64) string {
+	return fmt.Sprintf("%+v|%d|%d|%d", spec, sockets, coresPerSocket, budget)
+}
+
+// SetPhaseBudget declares that every core will draw at most `budget`
+// instructions worth of accesses per phase (each Access consumes Gap
+// instructions; consumers stop at or before the first access that
+// reaches the budget). A non-zero budget makes the next ResetPhase
+// record or reuse a cached stream and switches Next to pure replay.
+// Zero disables recording (the default, and the step-A analysis mode).
+//
+// The budget must cover the consumer's real consumption: replaying past
+// the recorded stream panics rather than silently decorrelating.
+func (g *Generator) SetPhaseBudget(budget uint64) {
+	if budget == g.budget {
+		return
+	}
+	g.budget = budget
+	g.sig = ""
+	if budget > 0 {
+		g.sig = streamSig(g.spec, g.sockets, g.coresPerSocket, budget)
+	}
+	g.stream = nil
+}
+
+// loadStream points the generator at the cached stream for phase,
+// recording it on a cache miss, and rewinds every core's cursor.
+func (g *Generator) loadStream(phase int) {
+	key := streamKey{sig: g.sig, phase: phase}
+	s := lookupStream(key)
+	if s == nil {
+		s = g.recordStream()
+		storeStream(key, s)
+	}
+	g.stream = s
+	if g.cursor == nil {
+		g.cursor = make([]int32, len(g.rngs))
+	}
+	copy(g.cursor, s.off[:len(g.rngs)])
+}
+
+// recordStream generates every core's stream for the current phase
+// until the per-core cumulative gap reaches the budget, capturing it in
+// struct-of-arrays form. It consumes the per-core RNG streams, which is
+// safe because replay mode never touches them again this phase.
+func (g *Generator) recordStream() *phaseStream {
+	cores := len(g.rngs)
+	s := &phaseStream{off: make([]int32, cores+1)}
+	for core := 0; core < cores; core++ {
+		s.off[core] = int32(len(s.gaps))
+		var cum uint64
+		for cum < g.budget {
+			a := g.generate(core)
+			cum += uint64(a.Gap)
+			s.gaps = append(s.gaps, a.Gap)
+			s.pages = append(s.pages, a.Page)
+			s.blocks = append(s.blocks, a.Block)
+			s.writes = append(s.writes, a.Write)
+		}
+		if core == 0 && cores > 1 {
+			// Cores draw from the same mixture, so core 0's access count
+			// predicts the total well; pre-growing here avoids repeated
+			// multi-MB reallocation copies as the remaining cores append.
+			want := len(s.gaps) * cores * 9 / 8
+			s.gaps = append(make([]uint32, 0, want), s.gaps...)
+			s.pages = append(make([]uint32, 0, want), s.pages...)
+			s.blocks = append(make([]uint16, 0, want), s.blocks...)
+			s.writes = append(make([]bool, 0, want), s.writes...)
+		}
+	}
+	s.off[cores] = int32(len(s.gaps))
+	return s
+}
+
+// ReplayArrays exposes the recorded stream bound by the last ResetPhase
+// for bulk replay: core c's accesses are pages[off[c]:off[c+1]] with
+// parallel writes flags. It returns ok=false unless a stream is bound
+// and was recorded at exactly the requested budget — the caller's
+// consumption contract (one access per round until the per-core budget
+// is crossed) only matches the recorded lengths at equal budgets.
+// Callers must treat the arrays as read-only.
+func (g *Generator) ReplayArrays(budget uint64) (off []int32, pages []uint32, writes []bool, ok bool) {
+	s := g.stream
+	if s == nil || g.budget != budget {
+		return nil, nil, nil, false
+	}
+	return s.off, s.pages, s.writes, true
+}
+
+// StreamSig returns the identity of the recorded phase streams — the
+// stream-cache signature folding in the Spec, the system shape and the
+// recording budget — with ok=false when no phase budget is declared.
+// Two generators with equal signatures replay byte-identical streams
+// for every phase, which is what step B's ingest memo keys on.
+func (g *Generator) StreamSig() (sig string, ok bool) {
+	return g.sig, g.sig != ""
+}
+
+//starnuma:coldpath only on replay overrun, which is a consumer bug
+func streamOverrun(core int) {
+	panic(fmt.Sprintf("workload: core %d replayed past its recorded phase stream (budget too small)", core))
+}
+
+// generatorPools recycles Generators per (spec, shape) signature so
+// runner workers stop rebuilding page/sharer assignments every window.
+var generatorPools sync.Map // string -> *sync.Pool
+
+// AcquireGenerator returns a pooled Generator for spec on the given
+// shape, building one only when the pool is empty. Callers must
+// ResetPhase before drawing (all consumers already do) and should hand
+// the generator back with ReleaseGenerator when the window completes.
+func AcquireGenerator(spec Spec, sockets, coresPerSocket int) (*Generator, error) {
+	sig := streamSig(spec, sockets, coresPerSocket, 0)
+	if p, ok := generatorPools.Load(sig); ok {
+		if g, _ := p.(*sync.Pool).Get().(*Generator); g != nil {
+			return g, nil
+		}
+	}
+	return NewGenerator(spec, sockets, coresPerSocket)
+}
+
+// ReleaseGenerator returns g to its shape pool for reuse. The generator
+// must not be used after release.
+func ReleaseGenerator(g *Generator) {
+	if g == nil {
+		return
+	}
+	sig := streamSig(g.spec, g.sockets, g.coresPerSocket, 0)
+	p, _ := generatorPools.LoadOrStore(sig, &sync.Pool{})
+	p.(*sync.Pool).Put(g)
+}
