@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchgate [-max-drop 0.10] [-warn-gain 0.10] baseline.json fresh.json
+//	benchgate [-max-drop 0.10] [-warn-gain 0.10] [-max-exp-drop 0.25] baseline.json fresh.json
 //
 // The gate reads the overall windows_per_sec of both reports (deriving
 // it from windows_done / suite_seconds for baselines written before the
@@ -17,6 +17,12 @@
 //     so the gate keeps teeth;
 //   - exits 2 on malformed input (unreadable files, zero-window runs),
 //     so CI never confuses "could not measure" with "fast enough".
+//
+// It also lines up the two reports' per-experiment entries and prints
+// each experiment's throughput delta. Experiments with zero windows on
+// either side simulated nothing (in-suite memo recalls) and are
+// skipped, not compared; -max-exp-drop (off by default) turns a
+// per-experiment drop beyond the fraction into a failure too.
 //
 // Both reports must come from cache-disabled runs: a cache hit does no
 // step-C work, making windows_per_sec meaningless (and zero-window
@@ -33,8 +39,18 @@ import (
 
 // report is the subset of expall's -benchjson document the gate reads.
 type report struct {
-	SuiteSeconds  float64 `json:"suite_seconds"`
-	WindowsDone   int64   `json:"windows_done"`
+	SuiteSeconds  float64      `json:"suite_seconds"`
+	WindowsDone   int64        `json:"windows_done"`
+	WindowsPerSec float64      `json:"windows_per_sec"`
+	Experiments   []experiment `json:"experiments"`
+}
+
+// experiment is one per-experiment timing entry. Entries with zero
+// windows did no step-C work (every run recalled from the in-suite
+// memo); their throughput is undefined and the gate skips them.
+type experiment struct {
+	ID            string  `json:"id"`
+	Windows       int64   `json:"windows"`
 	WindowsPerSec float64 `json:"windows_per_sec"`
 }
 
@@ -68,6 +84,37 @@ func verdict(base, fresh, maxDrop, warnGain float64) (fail bool, warn string, su
 	return false, warn, summary
 }
 
+// compareExperiments lines up the two reports' per-experiment entries
+// by ID and reports each delta. Entries with zero windows on either
+// side are skipped — not treated as infinitely slow or malformed — and
+// counted instead. When maxExpDrop > 0, any compared experiment whose
+// throughput dropped more than that fraction fails the gate.
+func compareExperiments(base, fresh report, maxExpDrop float64) (lines []string, skipped int, fail bool) {
+	bySrc := make(map[string]experiment, len(base.Experiments))
+	for _, e := range base.Experiments {
+		bySrc[e.ID] = e
+	}
+	for _, f := range fresh.Experiments {
+		b, ok := bySrc[f.ID]
+		if !ok {
+			continue
+		}
+		if b.Windows == 0 || f.Windows == 0 || b.WindowsPerSec <= 0 || f.WindowsPerSec <= 0 {
+			skipped++
+			continue
+		}
+		delta := f.WindowsPerSec/b.WindowsPerSec - 1
+		mark := ""
+		if maxExpDrop > 0 && delta < -maxExpDrop {
+			mark = "  REGRESSED"
+			fail = true
+		}
+		lines = append(lines, fmt.Sprintf("  %-12s baseline %8.2f, fresh %8.2f (%+.1f%%)%s",
+			f.ID, b.WindowsPerSec, f.WindowsPerSec, delta*100, mark))
+	}
+	return lines, skipped, fail
+}
+
 func readReport(path string) (report, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
@@ -82,8 +129,9 @@ func readReport(path string) (report, error) {
 
 func main() {
 	var (
-		maxDrop  = flag.Float64("max-drop", 0.10, "fail when windows/sec drops more than this fraction below baseline")
-		warnGain = flag.Float64("warn-gain", 0.10, "warn when windows/sec exceeds baseline by more than this fraction")
+		maxDrop    = flag.Float64("max-drop", 0.10, "fail when windows/sec drops more than this fraction below baseline")
+		warnGain   = flag.Float64("warn-gain", 0.10, "warn when windows/sec exceeds baseline by more than this fraction")
+		maxExpDrop = flag.Float64("max-exp-drop", 0, "also fail when any single experiment drops more than this fraction (0 = report only)")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -92,6 +140,7 @@ func main() {
 	}
 	fail := false
 	var rates [2]float64
+	var reports [2]report
 	for i, path := range flag.Args() {
 		r, err := readReport(path)
 		if err != nil {
@@ -104,14 +153,26 @@ func main() {
 			os.Exit(2)
 		}
 		rates[i] = rate
+		reports[i] = r
 	}
 	failed, warn, summary := verdict(rates[0], rates[1], *maxDrop, *warnGain)
 	fmt.Println(summary)
+	lines, skipped, expFailed := compareExperiments(reports[0], reports[1], *maxExpDrop)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if skipped > 0 {
+		fmt.Printf("  (%d zero-window experiments skipped)\n", skipped)
+	}
 	if warn != "" {
 		fmt.Fprintf(os.Stderr, "benchgate: warning: %s\n", warn)
 	}
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchgate: FAIL: throughput dropped more than %.0f%% below baseline\n", *maxDrop*100)
+		fail = true
+	}
+	if expFailed {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL: an experiment dropped more than %.0f%% below baseline\n", *maxExpDrop*100)
 		fail = true
 	}
 	if fail {

@@ -78,3 +78,39 @@ func TestVerdictBoundaryIsInclusive(t *testing.T) {
 		t.Fatal("exactly -10% failed a 10% gate")
 	}
 }
+
+func TestCompareExperimentsSkipsZeroWindows(t *testing.T) {
+	base := report{Experiments: []experiment{
+		{ID: "fig2", Windows: 0, WindowsPerSec: 0},
+		{ID: "fig8a", Windows: 64, WindowsPerSec: 8.0},
+		{ID: "fig9", Windows: 64, WindowsPerSec: 8.0},
+	}}
+	fresh := report{Experiments: []experiment{
+		{ID: "fig2", Windows: 0, WindowsPerSec: 0},
+		{ID: "fig8a", Windows: 64, WindowsPerSec: 7.9},
+		{ID: "fig9", Windows: 0, WindowsPerSec: 0}, // cache recall this run
+	}}
+	lines, skipped, fail := compareExperiments(base, fresh, 0.25)
+	if len(lines) != 1 {
+		t.Fatalf("compared %d experiments, want 1: %v", len(lines), lines)
+	}
+	if skipped != 2 {
+		t.Fatalf("skipped = %d, want 2", skipped)
+	}
+	if fail {
+		t.Fatal("a ~1% drop failed the 25% per-experiment gate")
+	}
+}
+
+func TestCompareExperimentsFailsOnBigDrop(t *testing.T) {
+	base := report{Experiments: []experiment{{ID: "fig8a", Windows: 64, WindowsPerSec: 8.0}}}
+	fresh := report{Experiments: []experiment{{ID: "fig8a", Windows: 64, WindowsPerSec: 4.0}}}
+	_, _, fail := compareExperiments(base, fresh, 0.25)
+	if !fail {
+		t.Fatal("a 50% per-experiment drop passed the 25% gate")
+	}
+	// Report-only mode never fails.
+	if _, _, fail := compareExperiments(base, fresh, 0); fail {
+		t.Fatal("report-only mode (max-exp-drop 0) failed the gate")
+	}
+}

@@ -5,7 +5,7 @@
 //
 //	expall [-quick] [-scale 0.25] [-jobs N] [-o results.txt]
 //	       [-nocache] [-cache DIR] [-benchjson BENCH_expall.json]
-//	       [-metrics manifest.json] [-faults plan.json]
+//	       [-metrics manifest.json] [-attrib profiles.json] [-faults plan.json]
 //	       [-trace trace.json] [-cpuprofile cpu.pprof] [-pprof :6060]
 //
 // Experiments execute on internal/runner's parallel scheduler (-jobs
@@ -27,13 +27,15 @@ import (
 
 // benchExperiment is one per-experiment timing record of -benchjson.
 // Windows counts the step-C windows actually simulated for the
-// experiment (0 when every run came from the cache), and WindowsPerSec
-// is the simulation throughput those windows achieved.
+// experiment, and WindowsPerSec is the simulation throughput those
+// windows achieved. Experiments whose runs all came from the in-suite
+// memo or the result cache simulate nothing; their Windows is 0 and
+// WindowsPerSec is omitted rather than written as a misleading 0.
 type benchExperiment struct {
 	ID            string  `json:"id"`
 	Seconds       float64 `json:"seconds"`
 	Windows       int64   `json:"windows"`
-	WindowsPerSec float64 `json:"windows_per_sec"`
+	WindowsPerSec float64 `json:"windows_per_sec,omitempty"`
 }
 
 // benchReport is the -benchjson document. WindowsPerSec is the suite's
@@ -124,6 +126,12 @@ func main() {
 
 	if cli.Metrics != "" {
 		if err := r.WriteManifest(cli.Metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "expall: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if cli.Attrib != "" {
+		if err := r.WriteStallProfiles(cli.Attrib); err != nil {
 			fmt.Fprintf(os.Stderr, "expall: %v\n", err)
 			os.Exit(1)
 		}

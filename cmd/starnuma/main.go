@@ -7,6 +7,7 @@
 //	starnuma -exp fig8a -metrics manifest.json   # collect instrumentation
 //	starnuma -exp fig8a -faults plan.json        # inject fabric faults
 //	starnuma -exp fig8a -trace trace.json        # record an event trace
+//	starnuma -exp fig8a -attrib profiles.json    # attribute stall time
 //	starnuma -exp fig8a -cpuprofile cpu.pprof    # profile the run
 //	starnuma -list
 //
@@ -20,6 +21,13 @@
 // with -policy (name, or name:{json-params}) and enumerate them with:
 //
 //	starnuma policy list
+//
+// Stall-attribution documents written by -attrib are inspected with the
+// prof subcommands:
+//
+//	starnuma prof report profiles.json
+//	starnuma prof diff -a oracle -b starnuma profiles.json
+//	starnuma prof flame profiles.json
 //
 // Experiment identifiers follow the paper's figure/table numbers; see
 // DESIGN.md §5 for the index.
@@ -40,6 +48,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "policy" {
 		os.Exit(policyMain(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "prof" {
+		os.Exit(profMain(os.Args[2:]))
 	}
 	var (
 		expID  = flag.String("exp", "", "experiment to run (e.g. fig8a, tab4); see -list")
@@ -92,6 +103,12 @@ func main() {
 	fmt.Print(out)
 	if cli.Metrics != "" {
 		if err := r.WriteManifest(cli.Metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "starnuma: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if cli.Attrib != "" {
+		if err := r.WriteStallProfiles(cli.Attrib); err != nil {
 			fmt.Fprintf(os.Stderr, "starnuma: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,73 @@
+package attrib
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// DocSchema versions the on-disk stall-profile document. Decoders
+// reject other schemas so stale artifacts fail loudly.
+const DocSchema = "starnuma-stallprof-v1"
+
+// DocRun is one experiment run's profile inside a document: the
+// runner's content-address key plus enough labels to group runs by
+// workload or policy without re-parsing the key.
+type DocRun struct {
+	Key      string   `json:"key"`
+	Workload string   `json:"workload"`
+	Policy   string   `json:"policy"`
+	Profile  *Profile `json:"profile"`
+}
+
+// Doc is the stall-profile artifact the exp layer writes and the
+// `starnuma prof` subcommands read: every attribution-enabled run of
+// an invocation, keyed and sorted for deterministic output.
+type Doc struct {
+	Schema string   `json:"schema"`
+	Runs   []DocRun `json:"runs"`
+}
+
+// Sort orders runs by key so encoded documents are deterministic
+// regardless of accumulation order.
+func (d *Doc) Sort() {
+	sort.Slice(d.Runs, func(i, j int) bool { return d.Runs[i].Key < d.Runs[j].Key })
+}
+
+// Encode renders the document as indented JSON with a trailing newline
+// (the repo's artifact convention).
+func (d *Doc) Encode() ([]byte, error) {
+	d.Sort()
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeDoc parses and validates a stall-profile document. It never
+// panics on corrupt input: every failure — malformed JSON, wrong
+// schema, missing or mis-shaped profiles — returns an error, which the
+// fuzz harness pins.
+func DecodeDoc(data []byte) (*Doc, error) {
+	var d Doc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("attrib: parse profile document: %w", err)
+	}
+	if d.Schema != DocSchema {
+		return nil, fmt.Errorf("attrib: profile document schema %q, want %q", d.Schema, DocSchema)
+	}
+	for i := range d.Runs {
+		r := &d.Runs[i]
+		if r.Key == "" {
+			return nil, fmt.Errorf("attrib: run %d has no key", i)
+		}
+		if r.Profile == nil {
+			return nil, fmt.Errorf("attrib: run %d (%s) has no profile", i, r.Key)
+		}
+		if err := r.Profile.Validate(); err != nil {
+			return nil, fmt.Errorf("attrib: run %d (%s): %w", i, r.Key, err)
+		}
+	}
+	return &d, nil
+}

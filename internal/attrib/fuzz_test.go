@@ -1,0 +1,37 @@
+package attrib
+
+import (
+	"testing"
+)
+
+// FuzzDecodeDoc pins that the profile-document decoder never panics on
+// arbitrary bytes, and that anything it accepts is well-shaped enough
+// for every downstream consumer (renderers, aggregation, diffs).
+func FuzzDecodeDoc(f *testing.F) {
+	good, err := testDoc().Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte(""))
+	f.Add([]byte("{"))
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	f.Add([]byte(`{"schema":"starnuma-stallprof-v1","runs":[{"key":"k","profile":{"sockets":1,"categories":["a"],"windows":[{"phase":0,"total_ps":-1,"cells":[1]}]}}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeDoc(data)
+		if err != nil {
+			return
+		}
+		// Accepted documents must survive every consumer without panics.
+		_ = RenderReport(d, true)
+		_ = RenderFolded(d)
+		if _, err := RenderSpeedscope(d); err != nil {
+			t.Fatalf("accepted doc fails speedscope render: %v", err)
+		}
+		a, _, _ := d.GroupTotals("")
+		_ = RenderDiff("a", "b", a, a)
+		if _, err := d.Encode(); err != nil {
+			t.Fatalf("accepted doc fails re-encode: %v", err)
+		}
+	})
+}

@@ -36,6 +36,14 @@ const (
 	BlockTransfer4Hop
 )
 
+// IsBlockTransfer reports whether the outcome adds cache-to-cache hops
+// beyond the home's memory access. The stall-attribution ledger
+// (internal/attrib) charges those extra legs' propagation to the
+// coherence category.
+func (o Outcome) IsBlockTransfer() bool {
+	return o == BlockTransfer3Hop || o == BlockTransfer4Hop
+}
+
 // String names the outcome.
 func (o Outcome) String() string {
 	switch o {

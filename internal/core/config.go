@@ -340,6 +340,17 @@ type SimConfig struct {
 	// tracing).
 	Trace bool `json:"-"`
 
+	// Attrib enables the stall-attribution ledger (internal/attrib):
+	// every recorded demand access's latency is decomposed into integer
+	// segments charged per window × socket × category, snapshotted into
+	// Result.Profile. Attribution is passive — timing and results are
+	// bit-identical with it on or off — and the field is omitted from
+	// JSON when false, so attribution-off runs keep their existing
+	// content-addressed cache keys while attribution-on runs (whose
+	// results carry a profile) hash to distinct keys and cache the
+	// profile alongside the rest of the Result.
+	Attrib bool `json:",omitempty"`
+
 	// ModelTLB enables the translation subsystem: per-core TLBs, the
 	// shared TLB directory for targeted shootdowns (§III-D3), and
 	// page-walk penalties for shootdown-invalidated translations.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"starnuma/internal/attrib"
 	"starnuma/internal/evtrace"
 	"starnuma/internal/metrics"
 	"starnuma/internal/stats"
@@ -102,6 +103,9 @@ func (p *Plan) NewResult() *Result {
 		res.Trace = evtrace.NewBuffer()
 	}
 	topo := topology.New(p.sys.Topology)
+	if p.cfg.Attrib {
+		res.Profile = attrib.NewProfile(topo.Sockets())
+	}
 	res.AMAT.SetUnloadedLatencies(unloadedLatencies(topo,
 		p.sys.SocketMem.OnChip+p.sys.SocketMem.DRAMLatency))
 	return res
@@ -136,6 +140,9 @@ func (r *Result) MergeWindow(w Window) {
 	r.PageFaults += w.stats.pageFaults
 	r.FaultDegradedSends += w.stats.faultDegraded
 	r.FaultFlapRetries += w.stats.faultRetries
+	if r.Profile != nil && w.stats.prof != nil {
+		r.Profile.Append(*w.stats.prof)
+	}
 	if w.stats.met != nil {
 		if r.Metrics == nil {
 			r.Metrics = &metrics.Snapshot{} //starnumavet:allow hotalloc one allocation per Result, on the first instrumented window

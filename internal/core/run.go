@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"starnuma/internal/attrib"
 	"starnuma/internal/coherence"
 	"starnuma/internal/evtrace"
 	"starnuma/internal/metrics"
@@ -67,6 +68,13 @@ type Result struct {
 	// window in checkpoint order); nil unless SimConfig.CollectMetrics.
 	// It rides through the runner's result cache like every other field.
 	Metrics *metrics.Snapshot `json:",omitempty"`
+
+	// Profile is the stall-attribution profile (internal/attrib): one
+	// WindowProfile per timing window in checkpoint order; nil unless
+	// SimConfig.Attrib. It rides through the runner's result cache like
+	// Metrics, and is omitted from JSON when absent so attribution-off
+	// results encode byte-identically to pre-attribution ones.
+	Profile *attrib.Profile `json:",omitempty"`
 
 	// Trace is the merged event-trace buffer (step-C windows laid end to
 	// end on one timeline, then step B's phase-clock events translated

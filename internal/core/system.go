@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"sync"
 
+	"starnuma/internal/attrib"
 	"starnuma/internal/cache"
 	"starnuma/internal/coherence"
 	"starnuma/internal/evtrace"
@@ -86,6 +87,9 @@ type windowStats struct {
 	// SimConfig.Trace. Result.MergeWindow shifts it onto the run's
 	// continuous timeline.
 	trc *evtrace.Buffer
+	// prof is the window's stall-attribution snapshot; nil unless
+	// SimConfig.Attrib.
+	prof *attrib.WindowProfile
 }
 
 // timingSystem wires the substrate models together for one window.
@@ -122,6 +126,18 @@ type timingSystem struct {
 	pageHome   []topology.NodeID
 	inFlight   map[uint32][]func() // page -> callbacks waiting for migration
 	replicated []bool              // §V-F study; nil when disabled
+
+	// Stall attribution (internal/attrib): led is the active ledger, nil
+	// (disabled) unless cfg.Attrib — every charge site is gated on it, so
+	// attribution-off windows take no attribution branches. ledger is the
+	// pooled allocation behind led; linkCXL marks, index-aligned with
+	// links, which channels are CXL (queue/prop category split);
+	// drainInFlight marks pages whose in-flight migration is a fault
+	// drain, maintained only while a ledger is active.
+	led           *attrib.Ledger
+	ledger        *attrib.Ledger
+	linkCXL       []bool
+	drainInFlight map[uint32]bool
 
 	cores   []*coreState
 	running int
@@ -214,6 +230,7 @@ func releaseTimingSystem(ts *timingSystem) {
 	ts.txnTrc = nil
 	ts.lanes = nil
 	ts.met = nil
+	ts.led = nil
 	ts.injectors = ts.injectors[:0]
 	p, _ := scratchPools.LoadOrStore(ts.key, &sync.Pool{})
 	p.(*sync.Pool).Put(ts)
@@ -250,7 +267,9 @@ func newScratch(sys SystemConfig, cfg SimConfig, gen AccessSource) *timingSystem
 			bw = sys.Pool.LinkBW
 		}
 		ts.links = append(ts.links, link.New(fmt.Sprintf("%s:%s->%s", ch.Kind, ch.From, ch.To), bw, ch.Latency))
+		ts.linkCXL = append(ts.linkCXL, ch.Kind == topology.KindCXL)
 	}
+	ts.drainInFlight = make(map[uint32]bool)
 	// Memory controllers and LLCs per node.
 	for s := 0; s < topo.Sockets(); s++ {
 		ts.ctrls = append(ts.ctrls, memdev.NewController(fmt.Sprintf("s%d", s), sys.SocketMem))
@@ -294,6 +313,7 @@ func (ts *timingSystem) resetScratch() {
 		ts.tlbs.Reset()
 	}
 	clear(ts.inFlight)
+	clear(ts.drainInFlight)
 }
 
 // prepare applies one checkpoint window's configuration to the scratch.
@@ -316,6 +336,15 @@ func (ts *timingSystem) prepare(cfg SimConfig, gen AccessSource, chk Checkpoint,
 		ts.met = metrics.New()
 	}
 	ts.eng.SetMetrics(ts.met)
+	ts.led = nil
+	if cfg.Attrib {
+		if ts.ledger == nil {
+			ts.ledger = attrib.NewLedger(ts.topo.Sockets())
+		} else {
+			ts.ledger.Reset()
+		}
+		ts.led = ts.ledger
+	}
 	if cfg.Trace {
 		ts.w.trc = evtrace.NewBuffer()
 		ts.lanes = traceLanes(ts.topo)
@@ -436,9 +465,16 @@ const (
 	opDone        // completion: AMAT/trace/core bookkeeping
 )
 
+// hopCoh tags a send step as a coherence leg: an extra hop a block
+// transfer adds after the home's memory access. The attribution ledger
+// charges tagged hops' propagation to the coherence category; queueing
+// on them still lands in the link/CXL queue categories.
+const hopCoh uint8 = 1
+
 // txnStep is one instruction of a transaction program.
 type txnStep struct {
 	op       uint8
+	cat      uint8 // hopCoh on coherence legs, 0 otherwise
 	bytes    int32
 	from, to topology.NodeID
 }
@@ -489,6 +525,10 @@ func (ts *timingSystem) putTxn(t *txn) {
 	t.route = nil
 	t.res = coherence.Result{}
 	t.nsteps, t.idx, t.hopIdx = 0, 0, 0
+	// Clear record so a recycled txn reused fire-and-forget (writebacks,
+	// invalidations, annex flushes) never inherits a demand txn's flag —
+	// the attribution ledger charges only steps with record set.
+	t.record = false
 	//starnumavet:allow hotalloc amortized free-list growth; capacity is retained across windows
 	ts.txnFree = append(ts.txnFree, t)
 }
@@ -496,6 +536,12 @@ func (ts *timingSystem) putTxn(t *txn) {
 // sendStep appends a message transfer to the program.
 func (t *txn) sendStep(from, to topology.NodeID, bytes int) {
 	t.steps[t.nsteps] = txnStep{op: opSend, from: from, to: to, bytes: int32(bytes)}
+	t.nsteps++
+}
+
+// sendStepCoh appends a message transfer tagged as a coherence leg.
+func (t *txn) sendStepCoh(from, to topology.NodeID, bytes int) {
+	t.steps[t.nsteps] = txnStep{op: opSend, cat: hopCoh, from: from, to: to, bytes: int32(bytes)}
 	t.nsteps++
 }
 
@@ -531,7 +577,11 @@ func (t *txn) run(_ sim.Time) {
 					ts.eng.AtKind(t.at, "send", t.fn)
 					return
 				}
-				delivered, _ := ts.links[t.route[t.hopIdx]].Send(now, int(st.bytes))
+				li := t.route[t.hopIdx]
+				delivered, q := ts.links[li].Send(now, int(st.bytes))
+				if ts.led != nil && t.record {
+					ts.chargeHop(li, t.socket, now, delivered, q, st.cat == hopCoh)
+				}
 				t.hopIdx++
 				t.at = delivered
 			}
@@ -543,7 +593,10 @@ func (t *txn) run(_ sim.Time) {
 				ts.eng.AtKind(t.at, "mem", t.fn)
 				return
 			}
-			done, _ := ts.ctrls[st.to].Access(now, t.addr, cache.BlockBytes)
+			done, q := ts.ctrls[st.to].Access(now, t.addr, cache.BlockBytes)
+			if ts.led != nil && t.record {
+				ts.chargeMem(t.socket, st.to, now, done, q)
+			}
 			t.at = done
 			t.idx++
 		case opDone:
@@ -666,6 +719,95 @@ func (ts *timingSystem) memAccess(at sim.Time, node topology.NodeID, addr uint64
 	}
 }
 
+// chargeHop books one link hop of a recorded demand access into the
+// attribution ledger. A Send's round trip decomposes exactly as
+// delivered − arrived = retry + queuing + (serialization + propagation):
+// retry is fault-injector retrain/backoff, queuing is wire contention
+// (CXL or socket-link by channel kind), and the remainder is the hop
+// cost itself — charged to coherence on tagged block-transfer legs.
+// Caller guarantees ts.led != nil.
+//
+//starnuma:hotpath one call per charged link hop
+func (ts *timingSystem) chargeHop(li int, socket topology.NodeID, arrived, delivered, queuing sim.Time, coh bool) {
+	s := int(socket)
+	retry := ts.links[li].LastRetry()
+	if retry > 0 {
+		ts.led.Charge(s, attrib.FaultRetry, retry)
+	}
+	prop := delivered - arrived - queuing - retry
+	if ts.linkCXL[li] {
+		ts.led.Charge(s, attrib.CXLQueue, queuing)
+		if coh {
+			ts.led.Charge(s, attrib.Coherence, prop)
+		} else {
+			ts.led.Charge(s, attrib.CXLProp, prop)
+		}
+		return
+	}
+	ts.led.Charge(s, attrib.LinkQueue, queuing)
+	if coh {
+		ts.led.Charge(s, attrib.Coherence, prop)
+	} else {
+		ts.led.Charge(s, attrib.LinkProp, prop)
+	}
+}
+
+// chargeMem books one memory access of a recorded demand access: the
+// controller round trip decomposes exactly as done − arrived = on-chip
+// + channel queuing + DRAM service (serialization, or bank service plus
+// bus transfer for the banked model). Caller guarantees ts.led != nil.
+//
+//starnuma:hotpath one call per charged memory access
+func (ts *timingSystem) chargeMem(socket, node topology.NodeID, arrived, done, queuing sim.Time) {
+	s := int(socket)
+	onChip := ts.ctrls[node].OnChipLatency()
+	ts.led.Charge(s, attrib.OnChip, onChip)
+	ts.led.Charge(s, attrib.DRAMQueue, queuing)
+	ts.led.Charge(s, attrib.DRAM, done-arrived-onChip-queuing)
+}
+
+// sendHopsCharged is sendHops with per-hop attribution: identical event
+// kinds and timing, plus a ledger charge after each Send. Used by the
+// replicated-access demand legs, which keep the closure style; callers
+// pick it only when ts.led != nil and the access is recorded, so the
+// attribution-off path is untouched.
+func (ts *timingSystem) sendHopsCharged(at sim.Time, hops []int, bytes int, socket topology.NodeID, then func(sim.Time)) {
+	if len(hops) == 0 {
+		then(at)
+		return
+	}
+	send := func(now sim.Time) {
+		delivered, q := ts.links[hops[0]].Send(now, bytes)
+		ts.chargeHop(hops[0], socket, now, delivered, q, false)
+		ts.sendHopsCharged(delivered, hops[1:], bytes, socket, then)
+	}
+	if at > ts.eng.Now() {
+		ts.eng.AtKind(at, "send", send)
+	} else {
+		send(ts.eng.Now())
+	}
+}
+
+// sendPathCharged is sendPath with per-hop attribution.
+func (ts *timingSystem) sendPathCharged(start sim.Time, from, to topology.NodeID, bytes int, socket topology.NodeID, then func(sim.Time)) {
+	ts.sendHopsCharged(start, ts.topo.Route(from, to), bytes, socket, then)
+}
+
+// memAccessCharged is memAccess with attribution: identical event kind
+// and timing, plus the controller-round-trip charge.
+func (ts *timingSystem) memAccessCharged(at sim.Time, node topology.NodeID, socket topology.NodeID, addr uint64, then func(sim.Time)) {
+	access := func(now sim.Time) {
+		done, q := ts.ctrls[node].Access(now, addr, cache.BlockBytes)
+		ts.chargeMem(socket, node, now, done, q)
+		then(done)
+	}
+	if at > ts.eng.Now() {
+		ts.eng.AtKind(at, "mem", access)
+	} else {
+		access(ts.eng.Now())
+	}
+}
+
 // start launches the cores and the migration engine.
 //
 //starnuma:coldpath once-per-window kickoff
@@ -709,6 +851,11 @@ func (ts *timingSystem) scheduleMigrations(chk Checkpoint) {
 			if _, ok := ts.inFlight[page]; !ok {
 				ts.inFlight[page] = nil
 			}
+			if ts.led != nil && m.Drain {
+				// Mark the in-flight move as a drain so demand stalls
+				// behind it charge to the drain category.
+				ts.drainInFlight[page] = true
+			}
 			from := m.From
 			if from == Unassigned {
 				from = m.To
@@ -723,6 +870,9 @@ func (ts *timingSystem) scheduleMigrations(chk Checkpoint) {
 				fire := func(sim.Time) {
 					waiters := ts.inFlight[page]
 					delete(ts.inFlight, page)
+					if ts.led != nil {
+						delete(ts.drainInFlight, page)
+					}
 					for _, w := range waiters {
 						w()
 					}
@@ -827,6 +977,25 @@ func (ts *timingSystem) issueAccess(cs *coreState, a workload.Access, issued sim
 	// Stall behind an in-flight migration of the page (§IV-C).
 	if waiters, ok := ts.inFlight[a.Page]; ok {
 		ts.w.migrStalled++
+		if ts.led != nil && record {
+			// Charged variant: book the wait (from now until the page
+			// lands) to migration, or to drain when the in-flight move is
+			// a fault drain. Re-issue may stall again behind a later
+			// migration; each leg charges its own wait, so chains sum
+			// exactly.
+			start := ts.eng.Now()
+			cat := attrib.Migration
+			if ts.drainInFlight[a.Page] {
+				cat = attrib.Drain
+			}
+			sock := cs.socket
+			//starnumavet:allow hotalloc waiter list exists only while a migration of this page is in flight; stalls are rare by design
+			ts.inFlight[a.Page] = append(waiters, func() {
+				ts.led.Charge(sock, cat, ts.eng.Now()-start)
+				ts.issueAccess(cs, a, issued, record)
+			})
+			return
+		}
 		//starnumavet:allow hotalloc waiter list exists only while a migration of this page is in flight; stalls are rare by design
 		ts.inFlight[a.Page] = append(waiters, func() {
 			ts.issueAccess(cs, a, issued, record)
@@ -840,6 +1009,11 @@ func (ts *timingSystem) issueAccess(cs *coreState, a workload.Access, issued sim
 		ts.sampler.MarkFaulted(a.Page)
 		ts.w.pageFaults++
 		penalty := ts.cfg.SoftwareTracking.FaultPenaltyCycles.Time(ts.cyclePS)
+		if ts.led != nil && record {
+			// The fault handler stalls the access for exactly penalty;
+			// minor-fault time books under the TLB/translation category.
+			ts.led.Charge(cs.socket, attrib.TLB, penalty)
+		}
 		ts.eng.AtKind(now+penalty, "fault", func(sim.Time) { ts.issueAccessAfterWalk(cs, a, issued, record) })
 		return
 	}
@@ -854,6 +1028,9 @@ func (ts *timingSystem) issueAccess(cs *coreState, a workload.Access, issued sim
 				ts.trcTLBN++
 				ts.w.trc.SpanArgs("tlb", "shootdown walk", ts.lanes[cs.socket], now, delay,
 					evtrace.Arg{Key: "core", Val: strconv.Itoa(cs.id)})
+			}
+			if ts.led != nil && record {
+				ts.led.Charge(cs.socket, attrib.TLB, delay)
 			}
 			ts.eng.AtKind(now+delay, "walk", func(sim.Time) { ts.issueAccessAfterWalk(cs, a, issued, record) })
 			return
@@ -965,25 +1142,25 @@ func (ts *timingSystem) issueAccessAfterWalk(cs *coreState, a workload.Access, i
 		t.acc = stats.BTSocket
 		t.sendStep(socket, home, ts.sys.MessageBytes)
 		t.memStep(home)
-		t.sendStep(home, res.Owner, ts.sys.MessageBytes)
-		t.sendStep(res.Owner, socket, ts.sys.DataBytes)
+		t.sendStepCoh(home, res.Owner, ts.sys.MessageBytes)
+		t.sendStepCoh(res.Owner, socket, ts.sys.DataBytes)
 		t.doneStep()
 	case coherence.BlockTransfer4Hop:
 		poolN := ts.topo.PoolNode()
 		t.sendStep(socket, poolN, ts.sys.MessageBytes)
 		t.memStep(poolN)
-		t.sendStep(poolN, res.Owner, ts.sys.MessageBytes)
+		t.sendStepCoh(poolN, res.Owner, ts.sys.MessageBytes)
 		if ts.cfg.ForceDirectBT {
 			// Ablation: direct owner→requester transfer despite the pool
 			// home — the path Fig. 4 shows to be slower on average.
 			t.acc = stats.BTSocket
-			t.sendStep(res.Owner, socket, ts.sys.DataBytes)
+			t.sendStepCoh(res.Owner, socket, ts.sys.DataBytes)
 		} else {
 			// R→H(pool), directory at pool, H→O forward, O→H data, H→R
 			// data (Fig. 4's blue path).
 			t.acc = stats.BTPool
-			t.sendStep(res.Owner, poolN, ts.sys.DataBytes)
-			t.sendStep(poolN, socket, ts.sys.DataBytes)
+			t.sendStepCoh(res.Owner, poolN, ts.sys.DataBytes)
+			t.sendStepCoh(poolN, socket, ts.sys.DataBytes)
 		}
 		t.doneStep()
 	default:
@@ -1022,11 +1199,16 @@ func (ts *timingSystem) replicatedAccess(cs *coreState, a workload.Access,
 			step(ts.eng.Now())
 		}
 	}
+	charge := ts.led != nil && record
 	if !a.Write {
 		if record {
 			ts.w.replicaReads++
 		}
-		ts.memAccess(now, socket, addr, func(done sim.Time) { fin(done, stats.Local) })
+		if charge {
+			ts.memAccessCharged(now, socket, socket, addr, func(done sim.Time) { fin(done, stats.Local) })
+		} else {
+			ts.memAccess(now, socket, addr, func(done sim.Time) { fin(done, stats.Local) })
+		}
 		return
 	}
 	// Store: software replica coherence. Broadcast invalidations to every
@@ -1043,6 +1225,25 @@ func (ts *timingSystem) replicatedAccess(cs *coreState, a workload.Access,
 	}
 	penalty := ts.cfg.Replication.WritePenaltyCycles.Time(ts.cyclePS)
 	at := ts.classify(socket, home)
+	if charge {
+		// The kernel-level replica-coherence stall is exactly penalty;
+		// the home round trip decomposes like any demand access.
+		ts.led.Charge(cs.socket, attrib.Replication, penalty)
+		ts.eng.AtKind(now+penalty, "replica", func(start sim.Time) {
+			if home == socket {
+				ts.memAccessCharged(start, home, socket, addr, func(done sim.Time) { fin(done, at) })
+				return
+			}
+			ts.sendPathCharged(start, socket, home, ts.sys.MessageBytes, socket, func(arr sim.Time) {
+				ts.memAccessCharged(arr, home, socket, addr, func(ready sim.Time) {
+					ts.sendPathCharged(ready, home, socket, ts.sys.DataBytes, socket, func(done sim.Time) {
+						fin(done, at)
+					})
+				})
+			})
+		})
+		return
+	}
 	ts.eng.AtKind(now+penalty, "replica", func(start sim.Time) {
 		if home == socket {
 			ts.memAccess(start, home, addr, func(done sim.Time) { fin(done, at) })
@@ -1121,6 +1322,12 @@ func runWindow(sys SystemConfig, cfg SimConfig, gen AccessSource,
 		ts.w.faultDegraded += st.DegradedSends
 		ts.w.faultRetries += st.FlapRetries
 		ts.w.faultRetryPS += st.RetryTime
+	}
+	if ts.led != nil {
+		// Snapshot the attribution ledger with the window's conservation
+		// target: the cells must sum exactly to the AMAT latency total.
+		wp := ts.led.Window(chk.Phase, int64(ts.w.amat.SumLatency()))
+		ts.w.prof = &wp
 	}
 	if ts.met != nil {
 		ts.harvest(chk.Phase)

@@ -30,6 +30,10 @@ type CLIFlags struct {
 	// Metrics is the run-manifest output path; non-empty enables
 	// instrumentation collection (core.SimConfig.CollectMetrics).
 	Metrics string
+	// Attrib is the stall-attribution document output path; non-empty
+	// enables the per-window stall ledger (core.SimConfig.Attrib) and
+	// writes an attrib.Doc readable by `starnuma prof`.
+	Attrib string
 	// Faults is a fault-plan JSON file; non-empty loads it into
 	// core.SimConfig.Faults so every experiment runs under the plan.
 	Faults string
@@ -57,6 +61,7 @@ func AddCLIFlags(fs *flag.FlagSet, progressDefault bool) *CLIFlags {
 	fs.BoolVar(&f.NoCache, "nocache", false, "disable the persistent result cache")
 	fs.BoolVar(&f.Progress, "progress", progressDefault, "report job progress on stderr")
 	fs.StringVar(&f.Metrics, "metrics", "", "collect instrumentation and write a run manifest to this JSON file")
+	fs.StringVar(&f.Attrib, "attrib", "", "attribute stall time and write a profile document to this JSON file (see: starnuma prof)")
 	fs.StringVar(&f.Faults, "faults", "", "run under the fault-injection plan in this JSON file (internal/fault)")
 	fs.StringVar(&f.Policy, "policy", "", `migration policy as "name" or "name:{json-params}" (see: starnuma policy list)`)
 	fs.StringVar(&f.Trace, "trace", "", "record an event trace (Perfetto/chrome://tracing JSON) to this file; disables the result cache")
@@ -89,6 +94,7 @@ func (f *CLIFlags) Options(progressW io.Writer) (Options, error) {
 		opts.Reporter = runner.NewTerminalReporter(progressW)
 	}
 	opts.Sim.CollectMetrics = f.Metrics != ""
+	opts.Sim.Attrib = f.Attrib != ""
 	if f.Trace != "" {
 		opts.Trace = f.Trace
 		opts.Sim.Trace = true

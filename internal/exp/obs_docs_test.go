@@ -33,6 +33,9 @@ func TestMetricNamespaceDocumented(t *testing.T) {
 	cfg.TimedInstr = 20_000
 	cfg.WarmupInstr = 2_000
 	cfg.CollectMetrics = true
+	// Attribution on so the attrib/* mirror keys appear and must be
+	// documented too.
+	cfg.Attrib = true
 	cfg.Faults = fault.FlapPlan()
 	res, err := core.Run(core.StarNUMASystem(), cfg, spec)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"starnuma/internal/attrib"
 	"starnuma/internal/core"
 	"starnuma/internal/fault"
 	"starnuma/internal/migrate"
@@ -66,11 +67,17 @@ func (r *Runner) PolicySweep() (*Table, error) {
 		name    string
 		perPlan []float64
 		overall float64
+		// stalls aggregates the policy's stall attribution across every
+		// (plan, workload) run when -attrib is enabled.
+		stalls []int64
 	}
 	rows := make([]ranked, 0, len(pols))
 	idx := 1 // vs[0] is the baseline anchor
 	for _, d := range pols {
 		rk := ranked{name: d.Name}
+		if r.opts.Sim.Attrib {
+			rk.stalls = make([]int64, attrib.NumCategories)
+		}
 		var all []float64
 		for range plans {
 			v := vs[idx]
@@ -88,6 +95,11 @@ func (r *Runner) PolicySweep() (*Table, error) {
 				s := core.Speedup(res, b)
 				ratios = append(ratios, s)
 				all = append(all, s)
+				if rk.stalls != nil && res.Profile != nil {
+					// Cache recalls of attribution-off entries carry no
+					// profile; mismatched shapes are skipped the same way.
+					_ = res.Profile.AddCategoryTotals(rk.stalls)
+				}
 			}
 			rk.perPlan = append(rk.perPlan, stats.GeoMean(ratios))
 		}
@@ -111,13 +123,39 @@ func (r *Runner) PolicySweep() (*Table, error) {
 			"overall"},
 		Notes: "extension (§V-B/§VI): leaderboard across fault plans, all on the pooled system, normalized to the fault-free pool-less perfect baseline; the zero-cost oracle must rank first (Fig. 9: static oracle 1.46x vs dynamic 1.31x) — a dynamic policy beating it would signal a modeling bug",
 	}
+	if r.opts.Sim.Attrib {
+		t.Columns = append(t.Columns, "top-stall", "top-stall-share")
+	}
 	for i, rk := range rows {
 		row := []string{fmt.Sprintf("%d", i+1), rk.name}
 		for _, g := range rk.perPlan {
 			row = append(row, x(g))
 		}
 		row = append(row, x(rk.overall))
+		if rk.stalls != nil {
+			cat, share := topStall(rk.stalls)
+			row = append(row, cat, share)
+		}
 		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
+}
+
+// topStall names the dominant stall category of an attribution
+// aggregate and its share of total stall time; "-" cells when the
+// aggregate is empty (e.g. every run recalled from an attribution-off
+// cache entry).
+func topStall(totals []int64) (name, share string) {
+	var sum, best int64
+	bi := -1
+	for i, v := range totals {
+		sum += v
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	if sum == 0 || bi < 0 {
+		return "-", "-"
+	}
+	return attrib.Category(bi).String(), fmt.Sprintf("%.1f%%", 100*float64(best)/float64(sum))
 }

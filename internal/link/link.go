@@ -39,6 +39,8 @@ type Link struct {
 	trc     *evtrace.Buffer // nil when event tracing is off
 	trcLane string
 	trcN    uint64 // adjusted-send counter for sampling
+
+	lastRetry sim.Time // retry delay of the most recent Send
 }
 
 // GBps expresses a bandwidth in gigabytes (1e9 bytes) per second.
@@ -96,6 +98,7 @@ func (l *Link) Send(now sim.Time, bytes int) (delivered, queuing sim.Time) {
 		latency, psPerByte, retry = l.inj.Adjust(now, latency, psPerByte)
 		now += retry
 	}
+	l.lastRetry = retry
 	start := now
 	if l.nextFree > start {
 		start = l.nextFree
@@ -183,6 +186,13 @@ func (l *Link) Utilization(horizon sim.Time) float64 {
 	return float64(l.busy) / float64(horizon)
 }
 
+// LastRetry returns the fault-injector retry delay of the most recent
+// Send: the retrain/backoff time that preceded queuing, which Send's
+// return values do not break out. The stall-attribution ledger
+// (internal/attrib) reads it immediately after each charged Send to
+// separate fault-retry time from link queuing and propagation.
+func (l *Link) LastRetry() sim.Time { return l.lastRetry }
+
 // Reset clears counters and the wire-busy horizon. Used between timing
 // windows so warm-up traffic does not pollute measured statistics.
 func (l *Link) Reset() {
@@ -191,4 +201,5 @@ func (l *Link) Reset() {
 	l.queued = 0
 	l.messages = 0
 	l.bytesMoved = 0
+	l.lastRetry = 0
 }

@@ -41,6 +41,7 @@ func (f *ListFlag) Contains(v string) bool {
 // wall clock or the environment — they sit outside the cached
 // computation.
 var SimPackages = []string{
+	"starnuma/internal/attrib",
 	"starnuma/internal/fault",
 	"starnuma/internal/scenario",
 	"starnuma/internal/metrics",

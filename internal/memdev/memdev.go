@@ -87,6 +87,12 @@ func (c *Controller) Name() string { return c.name }
 // Config returns the controller's configuration.
 func (c *Controller) Config() Config { return c.cfg }
 
+// OnChipLatency is the fixed on-chip portion every access pays before
+// reaching a channel. The stall-attribution ledger (internal/attrib)
+// uses it to split an Access round trip into on-chip, queuing, and
+// DRAM-service segments.
+func (c *Controller) OnChipLatency() sim.Time { return c.cfg.OnChip }
+
 // UnloadedLatency is the zero-contention service time of one access
 // (a row-buffer miss, for the banked model).
 func (c *Controller) UnloadedLatency() sim.Time {

@@ -84,7 +84,7 @@ func drainByRegion(st *State, capacity, resident int) []Migration {
 			if st.PageHome[pg] != st.PoolNode {
 				continue
 			}
-			out = append(out, Migration{Page: uint32(pg), From: st.PoolNode, To: dest})
+			out = append(out, Migration{Page: uint32(pg), From: st.PoolNode, To: dest, Drain: true})
 			st.PageHome[pg] = dest
 			resident--
 			moved++
@@ -115,7 +115,7 @@ func drainByPage(st *State, capacity, resident int) []Migration {
 			continue
 		}
 		dest := drainPageDestination(st, uint32(pg))
-		out = append(out, Migration{Page: uint32(pg), From: st.PoolNode, To: dest})
+		out = append(out, Migration{Page: uint32(pg), From: st.PoolNode, To: dest, Drain: true})
 		st.PageHome[pg] = dest
 		resident--
 	}

@@ -17,10 +17,15 @@ import (
 	"starnuma/internal/tracker"
 )
 
-// Migration is one page move decided at a phase boundary.
+// Migration is one page move decided at a phase boundary. Drain marks
+// moves a fault drain forced (evacuating a failing pool device) rather
+// than a policy chose; the stall-attribution ledger (internal/attrib)
+// uses it to charge demand stalls behind the move to the drain
+// category instead of migration.
 type Migration struct {
 	Page     uint32
 	From, To topology.NodeID
+	Drain    bool
 }
 
 // State is the placement state a policy inspects and mutates when

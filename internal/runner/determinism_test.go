@@ -139,3 +139,49 @@ func TestTraceDeterminismAcrossWorkerCounts(t *testing.T) {
 		}
 	}
 }
+
+// TestAttribDeterminismAcrossWorkerCounts is the stall-attribution
+// analogue: with SimConfig.Attrib enabled, the serialized Results —
+// including the per-window attribution profile — must be byte-identical
+// at 1 and 8 workers, and every profile must conserve stall time
+// exactly (ISSUE acceptance criterion).
+func TestAttribDeterminismAcrossWorkerCounts(t *testing.T) {
+	spec := tinySpec(t, "CC")
+
+	cfg := tinySim()
+	cfg.Policy = core.PolicyStarNUMA
+	cfg.Attrib = true
+	cfgB := tinySim()
+	cfgB.Policy = core.PolicyPerfectBaseline
+	cfgB.Attrib = true
+
+	jobs := []Job{
+		{Label: "baseline/CC", Sys: core.BaselineSystem(), Cfg: cfgB, Spec: spec},
+		{Label: "starnuma-t16/CC", Sys: core.StarNUMASystem(), Cfg: cfg, Spec: spec},
+	}
+
+	var ref []byte
+	for _, workers := range []int{1, 8} {
+		results, err := New(Config{Jobs: workers}).RunAll(jobs)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", workers, err)
+		}
+		for i, r := range results {
+			if r.Profile == nil {
+				t.Fatalf("%s: Attrib=true but Result.Profile is nil", jobs[i].Label)
+			}
+			if err := r.Profile.CheckConservation(); err != nil {
+				t.Fatalf("%s at jobs=%d: %v", jobs[i].Label, workers, err)
+			}
+		}
+		b := mustJSON(t, results)
+		if ref == nil {
+			ref = b
+			continue
+		}
+		if string(b) != string(ref) {
+			t.Fatalf("attributed results at jobs=%d differ from jobs=1 (%d vs %d bytes)",
+				workers, len(b), len(ref))
+		}
+	}
+}

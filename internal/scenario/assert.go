@@ -124,6 +124,13 @@ func (c *Compiled) evalOne(i int, a *Assertion, name string, rs RunSet) Check {
 			return chk
 		}
 		chk.Got = got
+	case KindStallFrac:
+		subject = "stall_frac " + a.Category
+		if res.Profile == nil {
+			chk.Detail = fmt.Sprintf("%s (%s): no attribution profile in the result", subject, name)
+			return chk
+		}
+		chk.Got = res.Profile.Fraction(a.Category)
 	case KindFaultCounter:
 		subject = "fault counter " + a.Counter
 		switch a.Counter {

@@ -172,6 +172,14 @@ func (c *Compiled) compileSim() {
 			break
 		}
 	}
+	// Stall-fraction assertions read the attribution profile, so their
+	// presence enables the stall ledger (same passivity contract).
+	for _, a := range s.Assertions {
+		if a.Kind == KindStallFrac {
+			cfg.Attrib = true
+			break
+		}
+	}
 
 	c.RefCfg = cfg // the no-events reference: same methodology, no plan
 	c.Cfg = cfg

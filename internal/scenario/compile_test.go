@@ -125,3 +125,29 @@ func TestCompileInvalid(t *testing.T) {
 		t.Fatal("Compile accepted an invalid scenario")
 	}
 }
+
+func TestCompileStallFracEnablesAttrib(t *testing.T) {
+	c := mustCompile(t, `{
+		"schema": "starnuma-scenario-v1", "name": "x",
+		"workloads": [{"name": "BFS"}],
+		"assertions": [
+			{"kind": "stall_frac", "category": "cxl-queue", "op": ">=", "value": 0.1}
+		]}`)
+	if !c.Cfg.Attrib {
+		t.Error("stall_frac assertion must enable Attrib")
+	}
+	if !c.RefCfg.Attrib {
+		t.Error("the no-events reference must share the Attrib flag (same cache-key methodology)")
+	}
+	if c.Cfg.CollectMetrics {
+		t.Error("stall_frac must not drag CollectMetrics along")
+	}
+	// And absent a stall_frac assertion, the ledger stays off.
+	c2 := mustCompile(t, `{
+		"schema": "starnuma-scenario-v1", "name": "x",
+		"workloads": [{"name": "BFS"}],
+		"assertions": [{"kind": "ipc", "op": ">", "value": 0}]}`)
+	if c2.Cfg.Attrib {
+		t.Error("Attrib should be off without stall_frac assertions")
+	}
+}

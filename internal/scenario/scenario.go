@@ -196,6 +196,12 @@ const (
 	// KindFaultCounter compares a Result fault counter:
 	// "degraded_sends", "flap_retries" or "drained_pages".
 	KindFaultCounter = "fault_counter"
+	// KindStallFrac compares one stall-attribution category's fraction
+	// of total stall time (internal/attrib; e.g. category "cxl-queue")
+	// against value in [0,1]. Using it enables the stall ledger for the
+	// run (passive: results stay bit-identical, the flag is part of the
+	// cache key).
+	KindStallFrac = "stall_frac"
 	// KindPoolPages compares the pages resident in the pool at the end
 	// of the run against value.
 	KindPoolPages = "pool_pages"
@@ -225,6 +231,9 @@ type Assertion struct {
 	Metric string `json:"metric,omitempty"`
 	// Counter names the fault counter for kind "fault_counter".
 	Counter string `json:"counter,omitempty"`
+	// Category names the stall-attribution category for kind
+	// "stall_frac" (one of internal/attrib's category names).
+	Category string `json:"category,omitempty"`
 	// Vs selects the speedup reference: "no-events" (default) or
 	// "baseline".
 	Vs string `json:"vs,omitempty"`

@@ -122,6 +122,18 @@ func TestParseRejects(t *testing.T) {
 		{"drain_complete with op", `{"schema": "starnuma-scenario-v1", "name": "x",
 			"workloads": [{"name": "BFS"}],
 			"assertions": [{"kind": "drain_complete", "op": "<"}]}`, "assertions[0]"},
+		{"stall_frac unknown category", `{"schema": "starnuma-scenario-v1", "name": "x",
+			"workloads": [{"name": "BFS"}],
+			"assertions": [{"kind": "stall_frac", "category": "vibes", "op": ">", "value": 0.5}]}`,
+			"assertions[0].category"},
+		{"stall_frac out of range", `{"schema": "starnuma-scenario-v1", "name": "x",
+			"workloads": [{"name": "BFS"}],
+			"assertions": [{"kind": "stall_frac", "category": "cxl-queue", "op": ">", "value": 1.5}]}`,
+			"assertions[0].value"},
+		{"category on wrong kind", `{"schema": "starnuma-scenario-v1", "name": "x",
+			"workloads": [{"name": "BFS"}],
+			"assertions": [{"kind": "ipc", "category": "cxl-queue", "op": ">", "value": 0}]}`,
+			"assertions[0].category"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

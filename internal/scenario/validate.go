@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"starnuma/internal/attrib"
 	"starnuma/internal/fault"
 	"starnuma/internal/migrate"
 	"starnuma/internal/stats"
@@ -316,6 +317,13 @@ func (s *Scenario) validateAssertions() error {
 			if a.Metric == "" {
 				return fieldErr(field+".metric", "kind metric needs a metric name (e.g. migrate/pages_to_pool)")
 			}
+		case KindStallFrac:
+			if _, ok := attrib.ByName(a.Category); !ok {
+				return fieldErr(field+".category", "got %q, want one of %s", a.Category, strings.Join(attrib.Names(), " "))
+			}
+			if a.Value < 0 || a.Value > 1 {
+				return fieldErr(field+".value", "stall fraction %v outside [0,1]", a.Value)
+			}
 		case KindFaultCounter:
 			ok := false
 			for _, c := range faultCounters {
@@ -344,6 +352,9 @@ func (s *Scenario) validateAssertions() error {
 		}
 		if a.Counter != "" && a.Kind != KindFaultCounter {
 			return fieldErr(field+".counter", "only kind fault_counter takes a counter name")
+		}
+		if a.Category != "" && a.Kind != KindStallFrac {
+			return fieldErr(field+".category", "only kind stall_frac takes a category name")
 		}
 		if a.Vs != "" && a.Kind != KindSpeedup {
 			return fieldErr(field+".vs", "only kind speedup takes a reference")

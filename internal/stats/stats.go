@@ -149,6 +149,11 @@ func (a *AMAT) Observe(t AccessType, latency sim.Time) {
 // Count returns the number of observed accesses.
 func (a *AMAT) Count() uint64 { return a.count }
 
+// SumLatency returns the total recorded access latency — the exact
+// integer the stall-attribution ledger's per-window conservation
+// invariant compares against (internal/attrib).
+func (a *AMAT) SumLatency() sim.Time { return a.sumLatency }
+
 // Breakdown returns the access-type counts.
 func (a *AMAT) Breakdown() Breakdown { return a.breakdown }
 

@@ -23,6 +23,8 @@ package tlb
 import (
 	"fmt"
 	"math/bits"
+
+	"starnuma/internal/sim"
 )
 
 // coreSet is a bitset over cores (SC3 scales to 128 cores, past uint64).
@@ -134,6 +136,14 @@ type Stats struct {
 	// ShootdownTargets sums the cores notified across shootdowns; with
 	// the shared directory this is far below cores×shootdowns.
 	ShootdownTargets uint64
+}
+
+// InducedStall returns the total walk delay the counted shootdown
+// walks impose at the given per-walk penalty — an upper bound on the
+// stall-attribution ledger's tlb category (an upper bound, not an
+// equality, because warm-up walks count here but are never charged).
+func (s Stats) InducedStall(penalty sim.Time) sim.Time {
+	return penalty.Scale(int(s.ShootdownWalks))
 }
 
 // System is the full translation subsystem: per-core TLBs plus the
